@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each benchmark target runs one experiment driver under pytest-benchmark
+(``--benchmark-only`` skips the unit suite), prints the paper-style results
+table, and asserts the qualitative shape the paper reports.  Drivers do
+real work — byte movement, encoding, network simulation — so the measured
+times are meaningful, but the *reported* checkpoint/recovery seconds come
+from the calibrated TimeModel, not the wall clock.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a driver exactly once under the benchmark timer and return its
+    table (drivers are deterministic; repeated rounds add nothing)."""
+
+    def runner(driver, *args, **kwargs):
+        return benchmark.pedantic(
+            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,19 @@
+"""Sec. V-F — communication volume accounting and its scalability claim."""
+
+import pytest
+
+from repro.bench.experiments import comm_volume_scaling
+
+
+def test_comm_volume_scaling(run_once):
+    table = run_once(comm_volume_scaling)
+    print("\n" + table.render())
+
+    per_device = table.column("per_device_GiB")
+    # The headline claim: per-device volume == m * s, constant in cluster
+    # size when the fault-tolerance level m is fixed.
+    assert max(per_device) == pytest.approx(min(per_device))
+    assert per_device[0] == pytest.approx(2 * 6.0)  # m=2, s=6 GiB
+    # Total volume is m * s * W.
+    for row in table.rows:
+        assert row["total_GiB"] == pytest.approx(2 * 6.0 * row["world"])

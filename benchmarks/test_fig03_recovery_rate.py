@@ -1,0 +1,22 @@
+"""Fig. 3 — recovery rate of replication vs erasure coding, 2000 nodes."""
+
+from repro.bench.experiments import fig3_recovery_rate
+
+
+def test_fig3_recovery_rate(run_once):
+    table = run_once(fig3_recovery_rate)
+    print("\n" + table.render())
+
+    rep = table.column("replication")
+    era = table.column("erasure_coding")
+    # EC dominates replication at every failure probability.
+    assert all(e >= r for e, r in zip(era, rep))
+    # Both start at 1.0 with no failures.
+    assert rep[0] == era[0] == 1.0
+    # Replication collapses much faster: by p=0.10 it is essentially dead
+    # while EC still recovers a sizeable fraction of the time.
+    assert rep[-1] < 1e-3
+    assert era[-1] > 0.1
+    # The advantage becomes more pronounced as p grows (ratio monotone).
+    ratios = [e / r for e, r in zip(era[1:], rep[1:])]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,25 @@
+"""Fig. 4 — serialization's share of remote checkpointing time."""
+
+from repro.bench.experiments import fig4_serialization_overhead
+
+
+def test_fig4_serialization_overhead(run_once):
+    table = run_once(fig4_serialization_overhead)
+    print("\n" + table.render())
+
+    fractions = table.column("serialize_fraction")
+    bandwidths = table.column("remote_gbps")
+    # As aggregated remote bandwidth grows, the serialization share grows
+    # (transfer shrinks, serialization stays) — the paper's motivation for
+    # the serialization-free protocol.
+    assert fractions == sorted(fractions)
+    assert fractions[0] > 0.01
+    assert fractions[-1] > 0.3
+    # Serialization time itself is bandwidth-independent.
+    serialize = table.column("serialize_s")
+    assert max(serialize) == min(serialize)
+    # Transfer time scales inversely with bandwidth.
+    transfer = table.column("transfer_s")
+    assert transfer[0] / transfer[-1] == __import__("pytest").approx(
+        bandwidths[-1] / bandwidths[0], rel=1e-6
+    )

@@ -1,0 +1,24 @@
+"""Fig. 10 — checkpointing time across nine Table-I models, four engines."""
+
+from repro.bench.experiments import fig10_checkpoint_time
+
+
+def test_fig10_checkpoint_time(run_once):
+    table = run_once(fig10_checkpoint_time)
+    print("\n" + table.render())
+
+    assert len(table.rows) == 9
+    for row in table.rows:
+        # In-memory engines beat remote-storage engines by a wide margin.
+        assert row["base3"] < row["base1"] / 5, row
+        assert row["eccheck"] < row["base1"] / 5, row
+        # base2 hides the stall but not the total checkpoint latency.
+        assert abs(row["base2"] - row["base1"]) / row["base1"] < 0.25, row
+        # ECCheck pays a modest encoding premium over replication
+        # (the paper reports ~1.6x; accept 1-3x).
+        ratio = row["eccheck"] / row["base3"]
+        assert 1.0 < ratio < 3.0, (row["model"], ratio)
+    # Bigger models take longer for every engine.
+    for engine in ("base1", "base3", "eccheck"):
+        gpt2 = [r[engine] for r in table.rows if r["model"].startswith("gpt2")]
+        assert gpt2 == sorted(gpt2)

@@ -1,0 +1,25 @@
+"""Fig. 11 — time breakdown of ECCheck checkpointing."""
+
+from repro.bench.experiments import fig11_time_breakdown
+
+
+def test_fig11_time_breakdown(run_once):
+    table = run_once(fig11_time_breakdown)
+    print("\n" + table.render())
+
+    for row in table.rows:
+        total = row["total"]
+        # Step 1 (blocking) is a short fraction of the whole save.
+        assert row["step1_dtoh"] < 0.2 * total, row
+        # Step 2 (metadata broadcast) is negligible.
+        assert row["step2_broadcast"] < 0.01 * total, row
+        # Step 3 (asynchronous encode/XOR/P2P pipeline) dominates.
+        assert row["step3_async_pipeline"] > 0.7 * total, row
+        # The three steps account for the whole reported time.
+        steps = (
+            row["step1_dtoh"] + row["step2_broadcast"] + row["step3_async_pipeline"]
+        )
+        assert abs(steps - total) / total < 1e-6, row
+    # Breakdown scales with model size.
+    totals = [row["total"] for row in table.rows]
+    assert totals == sorted(totals)

@@ -1,0 +1,29 @@
+"""Fig. 12 — average iteration time vs checkpoint frequency (GPT-2 5.3B)."""
+
+from repro.bench.experiments import fig12_iteration_overhead
+
+
+def test_fig12_iteration_overhead(run_once):
+    table = run_once(fig12_iteration_overhead)
+    print("\n" + table.render())
+
+    intervals = table.column("interval_iters")
+    assert intervals == sorted(intervals, reverse=True)
+    base1 = table.column("base1")
+    base2 = table.column("base2")
+    base3 = table.column("base3")
+    eccheck = table.column("eccheck")
+
+    # base1's synchronous stall makes overhead grow steeply with frequency.
+    assert base1 == sorted(base1)
+    assert base1[-1] > 2 * base1[0]
+    # base2 degrades once the interval can no longer absorb the persist
+    # latency (the paper's "more pronounced at higher frequency").
+    assert base2[-1] > 1.5 * base2[0]
+    # base3 and ECCheck stay essentially flat and close to each other.
+    for b3, ec in zip(base3, eccheck):
+        assert abs(b3 - ec) / b3 < 0.02
+    assert eccheck[-1] < 1.05 * eccheck[0]
+    # At the highest frequency, in-memory engines are far cheaper.
+    assert eccheck[-1] < base1[-1] / 2
+    assert eccheck[-1] < base2[-1] / 2

@@ -1,0 +1,31 @@
+"""Fig. 13 — recovery time under two failure scenarios."""
+
+import math
+
+from repro.bench.experiments import fig13_recovery_time
+
+
+def test_fig13_recovery_time(run_once):
+    table = run_once(fig13_recovery_time)
+    print("\n" + table.render())
+
+    for row in table.rows:
+        # Remote-storage recovery is slow and scenario-independent.
+        assert row["base1"] > 10 * row["eccheck"] or row["scenario"] == "b"
+        assert row["base1"] == row["base2"]
+        if row["scenario"] == "a":
+            # All data nodes survive: base3 and ECCheck both recover fast.
+            assert math.isfinite(row["base3"])
+            assert row["eccheck"] < row["base1"] / 10
+        else:
+            # Scenario b kills a whole replication group: base3 cannot
+            # recover in-memory while ECCheck decodes from parity.
+            assert math.isinf(row["base3"])
+            assert math.isfinite(row["eccheck"])
+            assert row["eccheck"] < row["base1"] / 5
+    # Decoding costs extra: scenario b is slower than a for ECCheck.
+    by_model = {}
+    for row in table.rows:
+        by_model.setdefault(row["model"], {})[row["scenario"]] = row["eccheck"]
+    for model, scenarios in by_model.items():
+        assert scenarios["b"] > scenarios["a"], model

@@ -1,0 +1,25 @@
+"""Fig. 15 — fault-tolerance capacity at identical redundancy (k=m=n/2)."""
+
+from repro.bench.experiments import fig15_fault_tolerance
+
+
+def test_fig15_fault_tolerance(run_once):
+    table = run_once(fig15_fault_tolerance)
+    print("\n" + table.render())
+
+    for row in table.rows:
+        assert row["eccheck"] >= row["base3"], row
+    # The advantage becomes more pronounced as the node count grows
+    # (same p, larger n -> bigger gap), the paper's closing observation.
+    for p in (0.05, 0.10, 0.20):
+        gaps = [
+            row["eccheck"] - row["base3"]
+            for row in table.rows
+            if row["p"] == p
+        ]
+        assert gaps == sorted(gaps), p
+    # ECCheck tolerates up to n/2 failures: at n=32 it is essentially
+    # always recoverable even at p=0.2 while replication loses ~half.
+    last = [r for r in table.rows if r["nodes"] == 32 and r["p"] == 0.20][0]
+    assert last["eccheck"] > 0.99
+    assert last["base3"] < 0.6

@@ -1,0 +1,25 @@
+"""Table I — model configurations and checkpoint sizes."""
+
+from repro.bench.experiments import table1_model_configs
+
+
+def test_table1_model_configs(run_once):
+    table = run_once(table1_model_configs)
+    print("\n" + table.render())
+
+    assert len(table.rows) == 9
+    labels = {row["model"].split("-")[1] for row in table.rows}
+    assert labels == {"1.6B", "5.3B", "20B"}
+    # Parameter counts land near the nominal labels (T5 runs ~20% over its
+    # label because of decoder cross-attention).
+    for row in table.rows:
+        nominal = float(row["model"].split("-")[1].rstrip("B"))
+        assert abs(row["params_B"] - nominal) / nominal < 0.25, row
+    # Checkpoints grow monotonically with the label within each family.
+    for family in ("gpt2", "bert", "t5"):
+        sizes = [
+            row["checkpoint_GiB"]
+            for row in table.rows
+            if row["model"].startswith(family)
+        ]
+        assert sizes == sorted(sizes)

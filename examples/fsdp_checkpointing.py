@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""ECCheck protecting FSDP (ZeRO-3 style) training.
+
+Under fully sharded data parallelism every rank holds a unique 1/W slice
+of all parameters and optimizer state — no replica anywhere, so a single
+machine loss destroys state exactly as in the TP/PP case.  The paper calls
+FSDP out as a target; this example shards a GPT-2 across 8 ranks, kills
+two machines, and restores bit-exactly from parity.
+
+Run:
+    python examples/fsdp_checkpointing.py
+"""
+
+from repro.checkpoint.job import TrainingJob
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.tensors.state_dict import state_dicts_equal, total_tensor_bytes
+
+
+def main() -> None:
+    cluster = ClusterSpec(num_nodes=4, gpus_per_node=2)
+    job = TrainingJob.create(
+        model="gpt2-1.6B",
+        cluster=cluster,
+        strategy=ParallelismSpec(data_parallel=cluster.world_size),
+        sharding="fsdp",
+        scale=2e-4,
+    )
+    print(f"FSDP over {job.world_size} ranks; every rank is a writer: "
+          f"{job.writers == list(range(job.world_size))}")
+    sizes = [job.logical_shard_bytes(w) / 2**30 for w in job.writers]
+    print(f"per-rank shard: {min(sizes):.2f}-{max(sizes):.2f} GiB "
+          f"(balanced leading-dimension split)")
+
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    job.advance(50)
+    report = engine.save()
+    print(f"\nsave: {report.checkpoint_time:.2f}s "
+          f"(stall {report.stall_time:.2f}s)")
+
+    reference = job.snapshot_states()
+    job.advance()
+    failed = {1, 2}
+    print(f"crashing nodes {sorted(failed)} — four unique FSDP shards lost")
+    job.fail_nodes(failed)
+    recovery = engine.restore(failed)
+
+    exact = all(
+        state_dicts_equal(job.state_of(w), reference[w])
+        for w in range(job.world_size)
+    )
+    print(f"restore: {recovery.recovery_time:.2f}s, bit-exact: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

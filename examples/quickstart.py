@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: erasure-coded in-memory checkpointing in ~40 lines.
+
+Builds the paper's testbed shape (4 nodes x 4 GPUs, tensor parallelism
+inside each node, pipeline parallelism across nodes), checkpoints it with
+ECCheck, kills two nodes — including a data node, the case replication
+cannot survive — and restores bit-exactly.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.checkpoint.job import TrainingJob
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.tensors.state_dict import state_dicts_equal
+
+
+def main() -> None:
+    job = TrainingJob.create(
+        model="gpt2-5.3B",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=4),
+        strategy=ParallelismSpec(tensor_parallel=4, pipeline_parallel=4),
+        scale=2e-4,  # materialise tiny real tensors; timing uses full sizes
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    print(f"data nodes:   {engine.placement.data_nodes}")
+    print(f"parity nodes: {engine.placement.parity_nodes}")
+
+    # Train a little, then checkpoint.
+    job.advance(100)
+    report = engine.save()
+    print(f"\neccheck.save: checkpoint time {report.checkpoint_time:.2f}s "
+          f"(training stalled only {report.stall_time:.2f}s)")
+    for step, seconds in report.breakdown.items():
+        print(f"  {step:28s} {seconds:8.3f}s")
+
+    reference = job.snapshot_states()
+    job.advance(3)  # progress that will be rolled back by the failure
+
+    # Two concurrent node failures, one of them a data node.
+    failed = {0, 3}
+    print(f"\ncrashing nodes {sorted(failed)} "
+          f"(node 0 is a data node — fatal for 2-way replication)")
+    job.fail_nodes(failed)
+    recovery = engine.restore(failed)
+    print(f"eccheck.load: recovered in {recovery.recovery_time:.2f}s, "
+          f"redundancy restored in {recovery.restore_redundancy_time:.2f}s "
+          f"(background)")
+
+    ok = all(
+        state_dicts_equal(job.state_of(worker), reference[worker])
+        for worker in range(job.world_size)
+    )
+    print(f"\nbit-exact restore of all {job.world_size} workers: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

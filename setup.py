@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment's setuptools lacks the ``wheel`` package needed for PEP 660
+editable installs, so this shim enables the legacy ``pip install -e .
+--no-use-pep517`` path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.
+        sys.exit(0)

@@ -1,0 +1,46 @@
+"""Closed-form models from the paper, plus Monte-Carlo cross-checks.
+
+* :mod:`repro.analysis.recovery_rate` — Eqns. 1-2 (replication vs erasure
+  coding recovery rates), the cluster-level products behind Fig. 3, and
+  the Fig. 15 capacity comparison.
+* :mod:`repro.analysis.overhead` — the Sec. V-F communication-volume
+  accounting (XOR reduction, P2P data, P2P parity; total ``m * s * W``).
+* :mod:`repro.analysis.breakdown` — helpers that turn engine reports into
+  the Fig. 11 time breakdown and the Fig. 4 serialization-fraction model.
+"""
+
+from repro.analysis.recovery_rate import (
+    cluster_recovery_rate,
+    erasure_recovery_rate,
+    montecarlo_recovery_rate,
+    replication_recovery_rate,
+)
+from repro.analysis.overhead import (
+    CommVolume,
+    communication_volume,
+    per_device_comm_bytes,
+)
+from repro.analysis.breakdown import (
+    normalise_breakdown,
+    serialization_fraction,
+)
+from repro.analysis.memory import (
+    equal_redundancy_k,
+    erasure_memory_factor,
+    replication_memory_factor,
+)
+
+__all__ = [
+    "equal_redundancy_k",
+    "erasure_memory_factor",
+    "replication_memory_factor",
+    "cluster_recovery_rate",
+    "erasure_recovery_rate",
+    "montecarlo_recovery_rate",
+    "replication_recovery_rate",
+    "CommVolume",
+    "communication_volume",
+    "per_device_comm_bytes",
+    "normalise_breakdown",
+    "serialization_fraction",
+]

@@ -1,0 +1,56 @@
+"""Host-memory redundancy accounting.
+
+Fig. 15 compares base3 and ECCheck "under identical redundancy conditions
+(i.e., identical CPU memory usage)".  This module makes that premise
+checkable:
+
+* Grouped replication with group size ``G`` stores ``G`` copies of each
+  node's data: per-node host memory is ``G x`` the node's own checkpoint.
+* ECCheck stores one chunk per node — ``W/k`` packets of the common packet
+  size — i.e. ``n/k x`` a node's own share.  At ``k = m = n/2`` that is
+  exactly ``2x``: the same footprint as pairwise replication, which is
+  the paper's apples-to-apples setting.
+
+Tests assert these factors against the engines' *actual* host stores.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def replication_memory_factor(group_size: int) -> float:
+    """Host bytes per node as a multiple of its own checkpoint bytes."""
+    if group_size < 1:
+        raise ReproError(f"group_size must be >= 1, got {group_size}")
+    return float(group_size)
+
+
+def erasure_memory_factor(num_nodes: int, k: int) -> float:
+    """Per-node chunk bytes as a multiple of a node's own packet bytes.
+
+    Each node stores one chunk of ``W/k`` packets while producing ``g``
+    packets itself, so the factor is ``(W/k) / g = n/k``.
+
+    Raises:
+        ReproError: for invalid shapes.
+    """
+    if num_nodes < 1 or not 1 <= k <= num_nodes:
+        raise ReproError(f"bad shape: n={num_nodes}, k={k}")
+    return num_nodes / k
+
+
+def equal_redundancy_k(num_nodes: int, group_size: int = 2) -> int:
+    """The ``k`` making ECCheck's footprint equal grouped replication's.
+
+    ``n/k == G  =>  k = n/G``; for the paper's pairwise groups, ``k = n/2``
+    (hence ``m = n/2`` too, the Fig. 15 configuration).
+
+    Raises:
+        ReproError: if ``G`` does not divide ``n``.
+    """
+    if group_size < 1 or num_nodes % group_size:
+        raise ReproError(
+            f"group_size {group_size} must divide num_nodes {num_nodes}"
+        )
+    return num_nodes // group_size

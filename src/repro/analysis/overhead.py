@@ -1,0 +1,64 @@
+"""Communication-volume accounting (paper Sec. V-F).
+
+For ``n`` nodes of ``g`` workers each (``W = n*g``), ``k`` data nodes,
+``m`` parity nodes, and a per-worker shard of ``s`` bytes:
+
+* XOR reduction moves ``(W/k) * m * (k-1) * s`` bytes (each of the
+  ``(W/k)*m`` reductions gathers ``k-1`` remote packets);
+* P2P data placement moves ``(W - k*g) * s`` bytes (each data node already
+  holds ``g`` packets);
+* P2P parity placement moves ``((W/k) - g) * m * s`` bytes (reduction
+  groups containing a parity worker produce their parity in place).
+
+Summing: ``m * s * W`` — i.e. a constant ``m * s`` per device regardless
+of cluster size, the scalability argument behind Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class CommVolume:
+    """Byte volumes of one ECCheck checkpoint round."""
+
+    xor_reduction: int
+    p2p_data: int
+    p2p_parity: int
+
+    @property
+    def total(self) -> int:
+        return self.xor_reduction + self.p2p_data + self.p2p_parity
+
+
+def communication_volume(
+    num_nodes: int, gpus_per_node: int, k: int, m: int, shard_bytes: int
+) -> CommVolume:
+    """The three Sec. V-F terms for a cluster/code shape.
+
+    Raises:
+        ReproError: for inconsistent shapes (k + m != n, k not dividing W).
+    """
+    if k + m != num_nodes:
+        raise ReproError(f"k + m = {k + m} must equal node count {num_nodes}")
+    world = num_nodes * gpus_per_node
+    if k < 1 or world % k:
+        raise ReproError(f"k={k} must divide world size {world}")
+    if shard_bytes < 0:
+        raise ReproError(f"shard_bytes must be >= 0, got {shard_bytes}")
+    per_group = world // k
+    return CommVolume(
+        xor_reduction=per_group * m * (k - 1) * shard_bytes,
+        p2p_data=(world - k * gpus_per_node) * shard_bytes,
+        p2p_parity=(per_group - gpus_per_node) * m * shard_bytes,
+    )
+
+
+def per_device_comm_bytes(m: int, shard_bytes: int) -> int:
+    """The paper's headline constant: ``m * s`` per device."""
+    if m < 0 or shard_bytes < 0:
+        raise ReproError("m and shard_bytes must be non-negative")
+    return m * shard_bytes

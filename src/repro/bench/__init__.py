@@ -1,0 +1,16 @@
+"""Benchmark harness: experiment drivers regenerating every table/figure.
+
+:mod:`repro.bench.harness` provides job factories and an ASCII table
+renderer; :mod:`repro.bench.experiments` has one driver per paper
+table/figure, each returning structured rows that the ``benchmarks/``
+pytest targets print and sanity-check.
+"""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    all_engines,
+    make_testbed_job,
+)
+from repro.bench import experiments
+
+__all__ = ["ExperimentTable", "all_engines", "make_testbed_job", "experiments"]

@@ -1,0 +1,198 @@
+"""Checkpoint engine interface and shared timing/reporting plumbing.
+
+Engines operate on a :class:`~repro.checkpoint.job.TrainingJob`:
+``save()`` captures consistent checkpoint state (really moving the job's
+bytes into host/remote stores) and returns a :class:`SaveReport` with
+simulated timing; ``restore(failed_nodes)`` puts every worker's
+``state_dict`` back and returns a :class:`RecoveryReport`.  Engines that
+cannot recover a failure pattern raise
+:class:`~repro.errors.RecoveryError` — the behaviour Fig. 13b exposes for
+the replication baseline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError, RecoveryError
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.storage import HostMemoryStore, RemoteStorage
+from repro.sim.network import REMOTE, ClusterNetwork, TransferRequest
+from repro.tensors.serialization import deserialize_state_dict, serialize_state_dict
+
+
+@dataclass
+class SaveReport:
+    """Timing and traffic accounting of one checkpoint save.
+
+    Attributes:
+        engine: engine name ("base1" ... "eccheck").
+        version: checkpoint version written.
+        stall_time: seconds training was blocked (the paper's
+            "checkpoint stall").
+        checkpoint_time: seconds from the save call until the checkpoint
+            is fully durable/recoverable — this bounds the maximum
+            checkpoint frequency (Fig. 10).
+        breakdown: per-step seconds (Fig. 11).
+        bytes_dtoh: device-to-host bytes copied.
+        bytes_inter_node: bytes crossing node NICs.
+        bytes_to_remote: bytes written to remote storage.
+    """
+
+    engine: str
+    version: int
+    stall_time: float
+    checkpoint_time: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    bytes_dtoh: int = 0
+    bytes_inter_node: int = 0
+    bytes_to_remote: int = 0
+
+
+@dataclass
+class RecoveryReport:
+    """Timing and traffic accounting of one recovery.
+
+    ``recovery_time`` runs from the load call to training resumption; the
+    optional ``restore_redundancy_time`` covers the background work of
+    re-establishing fault tolerance (ECCheck's second recovery task),
+    which does not block training.
+    """
+
+    engine: str
+    version: int
+    recovery_time: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    bytes_inter_node: int = 0
+    bytes_from_remote: int = 0
+    restore_redundancy_time: float = 0.0
+
+
+class CheckpointEngine(ABC):
+    """Base class for all checkpoint engines."""
+
+    name: str = "abstract"
+
+    def __init__(self, job: TrainingJob):
+        self.job = job
+        self.host = HostMemoryStore(job.cluster.num_nodes)
+        self.remote = RemoteStorage()
+        self.network = ClusterNetwork(job.cluster.num_nodes, job.time_model)
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def save(self) -> SaveReport:
+        """Checkpoint the job's current state; returns timing/traffic."""
+
+    @abstractmethod
+    def restore(self, failed_nodes: set[int]) -> RecoveryReport:
+        """Recover all workers' state after the given nodes failed.
+
+        The caller has already invoked ``job.fail_nodes(failed_nodes)``;
+        the engine must wipe its own host stores for those nodes, rebuild
+        every worker's ``state_dict`` from surviving redundancy, and
+        re-establish its fault-tolerance invariant.
+
+        Raises:
+            RecoveryError: when the failure pattern is unrecoverable from
+                in-memory state (callers may then fall back to remote).
+        """
+
+    # ------------------------------------------------------------------
+    def on_failure(self, failed_nodes: set[int]) -> None:
+        """Wipe the host memory of failed nodes (their RAM is gone)."""
+        for node in failed_nodes:
+            self.host.wipe(node)
+
+    def latest_version(self) -> int:
+        """Version of the most recent completed checkpoint.
+
+        Raises:
+            CheckpointError: if no checkpoint was ever written.
+        """
+        if self.version == 0:
+            raise CheckpointError("no checkpoint has been written yet")
+        return self.version
+
+    # ------------------------------------------------------------------
+    # Shared remote persist path (base1/base2 primary path; ECCheck's
+    # low-frequency catastrophic backup, step 4 in Fig. 5).
+    # ------------------------------------------------------------------
+    def _persist_all_to_remote(self, version: int) -> tuple[float, int]:
+        """Serialize every writer's state to remote storage.
+
+        Returns ``(transfer_makespan_seconds, bytes_written)``; the
+        serialization time is *not* included (engines account it as a
+        separate step since it may overlap differently per engine).
+        """
+        requests = []
+        total = 0
+        for worker in self.job.writers:
+            blob = serialize_state_dict(self.job.state_of(worker))
+            self.remote.put(("ckpt", version, worker), blob)
+            logical = self.job.logical_shard_bytes(worker)
+            total += logical
+            requests.append(
+                TransferRequest(
+                    src=self.job.node_of(worker), dst=REMOTE, nbytes=logical
+                )
+            )
+        result = self.network.simulate(requests)
+        return result.makespan, total
+
+    def _restore_all_from_remote(self, version: int) -> tuple[float, int]:
+        """Load every writer's state from remote; replicas copy from peers.
+
+        Returns ``(restore_makespan_seconds, bytes_read)``.
+
+        Raises:
+            RecoveryError: if the requested version is absent.
+        """
+        requests = []
+        total = 0
+        for worker in self.job.writers:
+            key = ("ckpt", version, worker)
+            if not self.remote.contains(key):
+                raise RecoveryError(
+                    f"remote storage lacks checkpoint v{version} for worker {worker}"
+                )
+        for worker in self.job.writers:
+            blob = self.remote.get(("ckpt", version, worker))
+            self.job.state_dicts[worker] = deserialize_state_dict(blob)
+            logical = self.job.logical_shard_bytes(worker)
+            total += logical
+            requests.append(
+                TransferRequest(
+                    src=REMOTE, dst=self.job.node_of(worker), nbytes=logical
+                )
+            )
+        self._restore_dp_replicas()
+        result = self.network.simulate(requests)
+        deserialize = max(
+            self.job.time_model.deserialize_time(self.job.logical_shard_bytes(w))
+            for w in self.job.writers
+        )
+        return result.makespan + deserialize, total
+
+    def _restore_dp_replicas(self) -> None:
+        """Copy restored writer state onto data-parallel replicas.
+
+        Under FSDP there are no replicas — every rank is a writer.
+        """
+        if self.job.strategy.data_parallel == 1:
+            return
+        if getattr(self.job, "sharding_style", "hybrid") == "fsdp":
+            return
+        from repro.tensors.state_dict import map_tensors
+
+        for worker in self.job.writers:
+            state = self.job.state_dicts[worker]
+            if state is None:
+                continue
+            for replica in self.job.strategy.dp_group(worker):
+                if replica != worker:
+                    self.job.state_dicts[replica] = map_tensors(
+                        state, lambda t: t.to(t.device)
+                    )

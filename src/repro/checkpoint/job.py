@@ -1,0 +1,238 @@
+"""A simulated distributed training job: the substrate engines checkpoint.
+
+A :class:`TrainingJob` carries two parallel views of the same state:
+
+* **Real bytes** — per-worker ``state_dict`` instances with actual numpy
+  tensors, materialised at a small ``scale`` so tests can assert bit-exact
+  recovery after injected failures.
+* **Logical bytes** — the full-size checkpoint volume each worker would
+  produce (parameter count x bytes/parameter), which the engines feed into
+  the network/time simulation so reported times match paper-scale models.
+
+``fail_nodes`` models a machine crash: the GPU state of every worker on
+the failed nodes is lost, and the engines' host stores for those nodes are
+wiped by the engines themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError, ShardingError
+from repro.models.config import CheckpointSizeModel, ModelConfig, get_model_config
+from repro.models.factory import build_worker_state_dict
+from repro.parallel.sharding import ShardSpec, checkpoint_workers, shard_model
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.sim.network import TimeModel
+from repro.tensors.state_dict import map_tensors
+
+
+@dataclass
+class TrainingJob:
+    """Cluster + parallelism + live per-worker training state.
+
+    Use :meth:`create` rather than the constructor; it materialises shards
+    consistently.
+    """
+
+    cluster: ClusterSpec
+    strategy: ParallelismSpec
+    model: ModelConfig
+    size_model: CheckpointSizeModel
+    time_model: TimeModel
+    scale: float
+    shards: list[ShardSpec]
+    state_dicts: dict[int, dict | None]
+    iteration: int = 0
+    sharding_style: str = "hybrid"
+    _logical_bytes: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        model: ModelConfig | str,
+        cluster: ClusterSpec,
+        strategy: ParallelismSpec,
+        scale: float = 1e-3,
+        seed: int = 0,
+        size_model: CheckpointSizeModel | None = None,
+        time_model: TimeModel | None = None,
+        sharding: str = "hybrid",
+    ) -> "TrainingJob":
+        """Materialise a job: shard the model and build worker state dicts.
+
+        Args:
+            model: a :class:`ModelConfig` or a zoo name like ``"gpt2-5.3B"``.
+            cluster: physical nodes and GPUs.
+            strategy: TP/PP/DP layout (must match the cluster size).
+            scale: tensor materialisation scale (1e-3 keeps tests fast).
+            seed: deterministic tensor contents.
+            sharding: ``"hybrid"`` (Megatron TP/PP/DP, the default) or
+                ``"fsdp"`` (every rank holds a 1/W slice of every tensor;
+                the strategy must then be pure data parallelism).
+        """
+        if isinstance(model, str):
+            model = get_model_config(model)
+        strategy.validate_cluster(cluster)
+        if sharding == "hybrid":
+            shards = shard_model(model, strategy)
+        elif sharding == "fsdp":
+            from repro.parallel.fsdp import shard_model_fsdp
+
+            if strategy.tensor_parallel != 1 or strategy.pipeline_parallel != 1:
+                raise ShardingError(
+                    "FSDP sharding expects pure data parallelism "
+                    "(tensor_parallel == pipeline_parallel == 1)"
+                )
+            shards = shard_model_fsdp(model, cluster.world_size)
+        else:
+            raise ShardingError(
+                f"unknown sharding style {sharding!r}; use 'hybrid' or 'fsdp'"
+            )
+        state_dicts: dict[int, dict | None] = {}
+        for shard in shards:
+            state_dicts[shard.worker] = build_worker_state_dict(
+                shard.param_shapes,
+                iteration=0,
+                seed=seed * 1_000_003 + shard.worker,
+                scale=scale,
+                extra_metadata={
+                    "model": model.name,
+                    "tp_rank": shard.tp_rank,
+                    "pp_rank": shard.pp_rank,
+                },
+            )
+        return cls(
+            cluster=cluster,
+            strategy=strategy,
+            model=model,
+            size_model=size_model or CheckpointSizeModel(),
+            time_model=time_model or TimeModel(),
+            scale=scale,
+            shards=shards,
+            state_dicts=state_dicts,
+            sharding_style=sharding,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    @property
+    def writers(self) -> list[int]:
+        """Workers that write checkpoints.
+
+        Under hybrid parallelism only one DP replica writes; under FSDP
+        every rank holds a unique shard, so everyone writes.
+        """
+        if self.sharding_style == "fsdp":
+            return list(range(self.world_size))
+        return checkpoint_workers(self.strategy)
+
+    def node_of(self, worker: int) -> int:
+        return self.cluster.node_of(worker)
+
+    def logical_shard_bytes(self, worker: int) -> int:
+        """Full-scale checkpoint bytes of one worker's shard."""
+        if worker not in self._logical_bytes:
+            shard = self.shards[worker]
+            self._logical_bytes[worker] = int(
+                shard.parameter_count() * self.size_model.bytes_per_parameter
+            )
+        return self._logical_bytes[worker]
+
+    def total_logical_bytes(self) -> int:
+        """Full-scale checkpoint bytes across all writers."""
+        return sum(self.logical_shard_bytes(w) for w in self.writers)
+
+    def node_logical_bytes(self, node: int) -> int:
+        """Full-scale checkpoint bytes produced by one node's writers."""
+        return sum(
+            self.logical_shard_bytes(w)
+            for w in self.cluster.workers_of(node)
+            if w in set(self.writers)
+        )
+
+    def max_shard_bytes(self) -> int:
+        """Largest per-worker shard (packet padding target)."""
+        return max(self.logical_shard_bytes(w) for w in self.writers)
+
+    # ------------------------------------------------------------------
+    def state_of(self, worker: int) -> dict:
+        """The worker's live state dict.
+
+        Raises:
+            CheckpointError: if the worker's state was lost to a failure
+                and has not been restored.
+        """
+        state = self.state_dicts.get(worker)
+        if state is None:
+            raise CheckpointError(
+                f"worker {worker} has no live state (failed node not yet recovered)"
+            )
+        return state
+
+    def advance(
+        self, iterations: int = 1, dirty_tensor_fraction: float = 1.0
+    ) -> None:
+        """Simulate training progress: mutate every live worker's state.
+
+        Tensor bytes are perturbed and the iteration metadata bumped, so
+        consecutive checkpoints are genuinely different — recovery tests
+        can detect stale restores.
+
+        Args:
+            iterations: training steps to take.
+            dirty_tensor_fraction: fraction of each worker's tensors that
+                actually change (1.0 = a dense update; lower values model
+                sparse updates — frozen layers, untouched embedding rows —
+                which is what incremental checkpointing exploits).
+        """
+        if iterations < 1:
+            raise CheckpointError(f"iterations must be >= 1, got {iterations}")
+        if not 0.0 < dirty_tensor_fraction <= 1.0:
+            raise CheckpointError(
+                f"dirty_tensor_fraction must be in (0, 1], got {dirty_tensor_fraction}"
+            )
+        from repro.tensors.state_dict import tensor_items
+
+        self.iteration += iterations
+        for worker, state in self.state_dicts.items():
+            if state is None:
+                continue
+            delta = (self.iteration * 131 + worker * 17) % 251 + 1
+            tensors = [t for _, t in tensor_items(state)]
+            dirty_count = max(1, round(dirty_tensor_fraction * len(tensors)))
+            for tensor in tensors[:dirty_count]:
+                view = tensor.byte_view()
+                stride = max(1, view.size // 64)
+                view[::stride] ^= delta
+            state["iteration"] = self.iteration
+            state["optimizer"]["step"] = self.iteration
+
+    def fail_nodes(self, nodes: set[int]) -> None:
+        """Crash nodes: their workers' GPU state is lost.
+
+        Raises:
+            ShardingError: for out-of-range node ids.
+        """
+        for node in nodes:
+            if not 0 <= node < self.cluster.num_nodes:
+                raise ShardingError(f"node {node} out of range")
+            for worker in self.cluster.workers_of(node):
+                self.state_dicts[worker] = None
+
+    def failed_workers(self) -> list[int]:
+        """Workers currently without live state."""
+        return [w for w, s in self.state_dicts.items() if s is None]
+
+    def snapshot_states(self) -> dict[int, dict]:
+        """Deep copies of every live state dict (for test verification)."""
+        out: dict[int, dict] = {}
+        for worker, state in self.state_dicts.items():
+            if state is not None:
+                out[worker] = map_tensors(state, lambda t: t.to(t.device))
+        return out

@@ -1,0 +1,154 @@
+"""CheckpointManager: the lifecycle API a training loop actually calls.
+
+The engines expose mechanism (``save``/``restore``); this manager adds the
+policy layer the paper's ``eccheck.initialize`` / ``eccheck.save`` /
+``eccheck.load`` functions imply:
+
+* decides *when* to checkpoint (fixed interval or the adaptive CheckFreq
+  tuner fed with measured overhead),
+* schedules low-frequency remote backups (ECCheck's step 4) when the
+  engine supports them,
+* handles failures end-to-end: wipe, restore, report how many iterations
+  of work were lost.
+
+Usage::
+
+    manager = CheckpointManager(job, engine, interval=16)
+    for _ in range(iterations):
+        job.advance()
+        manager.step()
+    ...
+    manager.on_failure({0, 3})   # restores and returns a report
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+from repro.checkpoint.base import CheckpointEngine, RecoveryReport
+from repro.checkpoint.frequency import AdaptiveFrequencyTuner
+from repro.checkpoint.job import TrainingJob
+
+
+@dataclass
+class ManagerStats:
+    """Cumulative accounting of a manager's lifetime."""
+
+    steps: int = 0
+    checkpoints: int = 0
+    remote_backups: int = 0
+    recoveries: int = 0
+    iterations_lost: int = 0
+    total_stall_s: float = 0.0
+    total_checkpoint_s: float = 0.0
+    save_reports: list = field(default_factory=list)
+
+
+class CheckpointManager:
+    """Policy wrapper around a checkpoint engine.
+
+    Args:
+        job: the training job (its ``iteration`` counter is the clock).
+        engine: any :class:`~repro.checkpoint.base.CheckpointEngine`.
+        interval: iterations between checkpoints.
+        adaptive: adapt the interval from measured stall overhead using
+            :class:`~repro.checkpoint.frequency.AdaptiveFrequencyTuner`
+            (requires ``iteration_s``).
+        iteration_s: baseline iteration seconds (for the adaptive tuner).
+        remote_backup_every: checkpoints between remote backups, for
+            engines exposing ``save_remote_backup`` (0 disables).
+    """
+
+    def __init__(
+        self,
+        job: TrainingJob,
+        engine: CheckpointEngine,
+        interval: int = 16,
+        adaptive: bool = False,
+        iteration_s: float | None = None,
+        remote_backup_every: int = 0,
+    ):
+        if interval < 1:
+            raise CheckpointError(f"interval must be >= 1, got {interval}")
+        if remote_backup_every < 0:
+            raise CheckpointError(
+                f"remote_backup_every must be >= 0, got {remote_backup_every}"
+            )
+        if adaptive and (iteration_s is None or iteration_s <= 0):
+            raise CheckpointError("adaptive mode needs a positive iteration_s")
+        if remote_backup_every and not hasattr(engine, "save_remote_backup"):
+            raise CheckpointError(
+                f"engine {engine.name!r} has no remote-backup path"
+            )
+        self.job = job
+        self.engine = engine
+        self.interval = interval
+        self.iteration_s = iteration_s
+        self.remote_backup_every = remote_backup_every
+        self.tuner = (
+            AdaptiveFrequencyTuner(interval=interval) if adaptive else None
+        )
+        self.stats = ManagerStats()
+        self._last_checkpoint_iteration: int | None = None
+        self._checkpoint_iteration_of_version: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def current_interval(self) -> int:
+        return self.tuner.interval if self.tuner else self.interval
+
+    def due(self) -> bool:
+        """True if a checkpoint is due at the job's current iteration."""
+        if self._last_checkpoint_iteration is None:
+            return True
+        return (
+            self.job.iteration - self._last_checkpoint_iteration
+            >= self.current_interval
+        )
+
+    def step(self) -> bool:
+        """Call once per training iteration; checkpoints when due.
+
+        Returns:
+            True if a checkpoint was taken this step.
+        """
+        self.stats.steps += 1
+        if not self.due():
+            return False
+        report = self.engine.save()
+        self.stats.checkpoints += 1
+        self.stats.total_stall_s += report.stall_time
+        self.stats.total_checkpoint_s += report.checkpoint_time
+        self.stats.save_reports.append(report)
+        self._last_checkpoint_iteration = self.job.iteration
+        self._checkpoint_iteration_of_version[report.version] = self.job.iteration
+        if self.tuner and self.iteration_s:
+            observed = report.stall_time / (self.current_interval * self.iteration_s)
+            self.tuner.observe(observed)
+        if (
+            self.remote_backup_every
+            and self.stats.checkpoints % self.remote_backup_every == 0
+        ):
+            backup = self.engine.save_remote_backup()  # type: ignore[attr-defined]
+            self.stats.remote_backups += 1
+            self._checkpoint_iteration_of_version[backup.version] = self.job.iteration
+        return True
+
+    def on_failure(self, failed_nodes: set[int]) -> RecoveryReport:
+        """Handle a failure: mark state lost, restore, account lost work.
+
+        Raises:
+            RecoveryError: propagated from the engine when unrecoverable.
+        """
+        at_iteration = self.job.iteration
+        self.job.fail_nodes(failed_nodes)
+        report = self.engine.restore(failed_nodes)
+        self.stats.recoveries += 1
+        restored_iteration = self._checkpoint_iteration_of_version.get(
+            report.version, 0
+        )
+        self.stats.iterations_lost += max(0, at_iteration - restored_iteration)
+        self.job.iteration = restored_iteration
+        self._last_checkpoint_iteration = restored_iteration
+        return report

@@ -1,0 +1,116 @@
+"""Storage substrates: volatile host memory and durable remote storage.
+
+Host memory is per node and **non-persistent**: a node failure wipes it
+(the central premise of the paper's fault model).  Remote storage survives
+everything but sits behind the cluster's thin 5 Gbps aggregate pipe — the
+time cost is modelled by the engines, while this module only keeps the
+bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+
+def _nbytes(value: Any) -> int:
+    """Best-effort byte size of a stored object."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(_nbytes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_nbytes(v) for v in value)
+    nbytes = getattr(value, "nbytes", None)  # SimTensor and friends
+    if isinstance(nbytes, int):
+        return nbytes
+    return 0
+
+
+class HostMemoryStore:
+    """Per-node CPU-memory key-value store, wiped on node failure."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise CheckpointError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._stores: list[dict[Hashable, Any]] = [{} for _ in range(num_nodes)]
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise CheckpointError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def put(self, node: int, key: Hashable, value: Any) -> None:
+        """Store ``value`` in ``node``'s host memory."""
+        self._check(node)
+        self._stores[node][key] = value
+
+    def get(self, node: int, key: Hashable) -> Any:
+        """Fetch a value; raises if the node never stored it (or was wiped).
+
+        Raises:
+            CheckpointError: on a missing key.
+        """
+        self._check(node)
+        try:
+            return self._stores[node][key]
+        except KeyError:
+            raise CheckpointError(
+                f"node {node} host memory has no key {key!r}"
+            ) from None
+
+    def contains(self, node: int, key: Hashable) -> bool:
+        self._check(node)
+        return key in self._stores[node]
+
+    def delete(self, node: int, key: Hashable) -> None:
+        self._check(node)
+        self._stores[node].pop(key, None)
+
+    def wipe(self, node: int) -> None:
+        """Simulate node failure: all host memory content is lost."""
+        self._check(node)
+        self._stores[node].clear()
+
+    def keys(self, node: int) -> list[Hashable]:
+        self._check(node)
+        return list(self._stores[node])
+
+    def node_bytes(self, node: int) -> int:
+        """Approximate bytes of checkpoint data resident on a node."""
+        self._check(node)
+        return sum(_nbytes(v) for v in self._stores[node].values())
+
+
+class RemoteStorage:
+    """Durable remote checkpoint store (never fails)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[Hashable, bytes] = {}
+
+    def put(self, key: Hashable, blob: bytes) -> None:
+        self._blobs[key] = bytes(blob)
+
+    def get(self, key: Hashable) -> bytes:
+        """Raises:
+        CheckpointError: on a missing key.
+        """
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise CheckpointError(f"remote storage has no key {key!r}") from None
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._blobs
+
+    def keys(self) -> list[Hashable]:
+        return list(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())

@@ -1,0 +1,69 @@
+"""base1: synchronous torch.save-style checkpointing to remote storage.
+
+The conventional PyTorch approach the paper baselines against: each worker
+serializes its full ``state_dict`` and pushes the blob to remote persistent
+storage, with training blocked until everything lands.  Both the
+serialization (Fig. 4's overhead) and the thin shared remote pipe are on
+the critical path, so stall time equals checkpoint time.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
+from repro.sim.network import REMOTE, TransferRequest
+from repro.tensors.serialization import serialize_state_dict
+
+
+class SyncRemoteEngine(CheckpointEngine):
+    """The paper's **base1**."""
+
+    name = "base1"
+
+    def save(self) -> SaveReport:
+        self.version += 1
+        tm = self.job.time_model
+        requests = []
+        bytes_to_remote = 0
+        serialize_times = {}
+        for worker in self.job.writers:
+            blob = serialize_state_dict(self.job.state_of(worker))
+            self.remote.put(("ckpt", self.version, worker), blob)
+            logical = self.job.logical_shard_bytes(worker)
+            bytes_to_remote += logical
+            serialize_times[worker] = tm.serialize_time(logical)
+            # Each worker's upload starts once its serialization finishes.
+            requests.append(
+                TransferRequest(
+                    src=self.job.node_of(worker),
+                    dst=REMOTE,
+                    nbytes=logical,
+                    start_delay=serialize_times[worker],
+                )
+            )
+        result = self.network.simulate(requests)
+        serialize_phase = max(serialize_times.values())
+        total = result.makespan
+        report = SaveReport(
+            engine=self.name,
+            version=self.version,
+            stall_time=total,  # synchronous: training blocked throughout
+            checkpoint_time=total,
+            breakdown={
+                "serialize": serialize_phase,
+                "transfer_remote": total - serialize_phase,
+            },
+            bytes_to_remote=bytes_to_remote,
+        )
+        return report
+
+    def restore(self, failed_nodes: set[int]) -> RecoveryReport:
+        self.on_failure(failed_nodes)
+        version = self.latest_version()
+        load_time, bytes_read = self._restore_all_from_remote(version)
+        return RecoveryReport(
+            engine=self.name,
+            version=version,
+            recovery_time=load_time,
+            breakdown={"load_remote": load_time},
+            bytes_from_remote=bytes_read,
+        )

@@ -1,0 +1,138 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig10            # regenerate one table/figure
+    python -m repro run all              # regenerate everything
+    python -m repro quickstart           # the save/crash/restore demo
+
+Every experiment prints the same ASCII table its benchmark target checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro._version import __version__
+
+
+def _registry() -> dict[str, tuple[str, Callable]]:
+    """Experiment name -> (description, driver)."""
+    from repro.bench import experiments as E
+
+    return {
+        "fig3": ("recovery rate, 2000-node cluster", E.fig3_recovery_rate),
+        "fig4": ("serialization overhead vs bandwidth", E.fig4_serialization_overhead),
+        "table1": ("model configurations", E.table1_model_configs),
+        "fig10": ("checkpointing time, all engines", E.fig10_checkpoint_time),
+        "fig11": ("ECCheck time breakdown", E.fig11_time_breakdown),
+        "fig12": ("iteration time vs checkpoint frequency", E.fig12_iteration_overhead),
+        "fig13": ("recovery time, two failure scenarios", E.fig13_recovery_time),
+        "fig14": ("scalability 4-32 GPUs", E.fig14_scalability),
+        "fig15": ("fault-tolerance capacity", E.fig15_fault_tolerance),
+        "comm-volume": ("Sec. V-F communication volume", E.comm_volume_scaling),
+        "goodput": ("campaign goodput under failures", E.goodput_comparison),
+        "ablation-placement": ("sweep-line vs naive placement", E.ablation_placement),
+        "ablation-pipelining": ("pipelined vs serial step 3", E.ablation_pipelining),
+        "ablation-schedule": ("smart vs dumb XOR schedules", E.ablation_xor_schedule),
+        "ablation-cauchy": ("original vs good Cauchy matrix", E.ablation_cauchy_matrix),
+        "ablation-throughput": ("measured encode throughput", E.ablation_encoding_throughput),
+        "ablation-racks": ("rack-aligned vs transversal groups", E.ablation_rack_aware_grouping),
+        "ablation-incremental": ("full vs delta checkpointing", E.ablation_incremental_checkpointing),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ECCheck reproduction: regenerate the paper's experiments.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+
+    sub.add_parser("quickstart", help="save / crash two nodes / restore demo")
+    return parser
+
+
+def cmd_list(out) -> int:
+    registry = _registry()
+    width = max(len(name) for name in registry)
+    for name, (description, _) in registry.items():
+        print(f"  {name.ljust(width)}  {description}", file=out)
+    return 0
+
+
+def cmd_run(experiment: str, out) -> int:
+    registry = _registry()
+    if experiment == "all":
+        names = list(registry)
+    elif experiment in registry:
+        names = [experiment]
+    else:
+        print(
+            f"unknown experiment {experiment!r}; try 'repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        _, driver = registry[name]
+        print(driver().render(), file=out)
+        print(file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(out)
+    if args.command == "run":
+        return cmd_run(args.experiment, out)
+    if args.command == "quickstart":
+        return _quickstart(out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _quickstart(out) -> int:
+    """Inline version of examples/quickstart.py for the CLI."""
+    from repro.checkpoint.job import TrainingJob
+    from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+    from repro.parallel.strategy import ParallelismSpec
+    from repro.parallel.topology import ClusterSpec
+    from repro.tensors.state_dict import state_dicts_equal
+
+    job = TrainingJob.create(
+        model="gpt2-5.3B",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=4),
+        strategy=ParallelismSpec(tensor_parallel=4, pipeline_parallel=4),
+        scale=2e-4,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    report = engine.save()
+    print(
+        f"save: {report.checkpoint_time:.2f}s total, "
+        f"{report.stall_time:.2f}s training stall",
+        file=out,
+    )
+    reference = job.snapshot_states()
+    job.fail_nodes({0, 3})
+    recovery = engine.restore({0, 3})
+    exact = all(
+        state_dicts_equal(job.state_of(w), reference[w])
+        for w in range(job.world_size)
+    )
+    print(
+        f"restore after nodes {{0, 3}} failed: {recovery.recovery_time:.2f}s, "
+        f"bit-exact: {exact}",
+        file=out,
+    )
+    return 0 if exact else 1

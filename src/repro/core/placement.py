@@ -1,0 +1,216 @@
+"""Optimal data/parity node selection (paper Sec. IV-B1).
+
+Which nodes become data nodes decides how many checkpoint packets must move
+during P2P placement: a data node that already hosts the workers of "its"
+data group needs no transfers at all.  The paper formulates this as a
+**maximum overlap interval pairing** problem between
+
+* ``origin_group`` — the physical worker intervals per node, and
+* ``data_group`` — the logical partition of all workers into ``k``
+  equal consecutive groups,
+
+and solves it with a sweep line over interval endpoints.  Both the sweep
+line and an O(n*k) brute force are implemented; tests assert they agree on
+random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShardingError
+
+
+def _validate_groups(origin_group: list[list[int]], data_group: list[list[int]]) -> None:
+    for name, groups in (("origin_group", origin_group), ("data_group", data_group)):
+        if not groups:
+            raise ShardingError(f"{name} must be non-empty")
+        for interval in groups:
+            if not interval:
+                raise ShardingError(f"{name} contains an empty interval")
+            if interval != list(range(interval[0], interval[-1] + 1)):
+                raise ShardingError(
+                    f"{name} intervals must be consecutive worker ranges: {interval}"
+                )
+
+
+def _overlap(a: list[int], b: list[int]) -> int:
+    """Overlap length of two consecutive-integer intervals."""
+    return max(0, min(a[-1], b[-1]) - max(a[0], b[0]) + 1)
+
+
+def max_overlap_pairing_bruteforce(
+    origin_group: list[list[int]], data_group: list[list[int]]
+) -> list[int]:
+    """For each data interval, the origin index with maximum overlap.
+
+    Ties break toward the lower node index; a node already chosen for an
+    earlier data group is skipped so data nodes are distinct.
+    """
+    _validate_groups(origin_group, data_group)
+    chosen: list[int] = []
+    used: set[int] = set()
+    for data_interval in data_group:
+        best_node, best_overlap = -1, -1
+        for node, origin_interval in enumerate(origin_group):
+            if node in used:
+                continue
+            overlap = _overlap(origin_interval, data_interval)
+            if overlap > best_overlap:
+                best_node, best_overlap = node, overlap
+        if best_node < 0:
+            raise ShardingError("more data groups than available nodes")
+        chosen.append(best_node)
+        used.add(best_node)
+    return chosen
+
+
+def max_overlap_pairing_sweepline(
+    origin_group: list[list[int]], data_group: list[list[int]]
+) -> list[int]:
+    """Sweep-line solution to the maximum overlap pairing problem.
+
+    A sweep moves left-to-right across all interval endpoints.  Origin
+    intervals become *active* at their start event; while a data interval
+    is open, every overlapping origin interval accumulates overlap with it.
+    At a data interval's end event the best active accumulation wins.
+    Complexity O((n + k) log(n + k)) from the event sort, matching the
+    paper's stated bound.
+    """
+    _validate_groups(origin_group, data_group)
+    # Events: (coordinate, priority, kind, index).  At equal coordinates,
+    # origin-starts (0) come before data events so a just-starting origin
+    # interval still counts; data-ends (2) run after data-starts (1).
+    events: list[tuple[int, int, str, int]] = []
+    for node, interval in enumerate(origin_group):
+        events.append((interval[0], 0, "origin_start", node))
+        events.append((interval[-1], 3, "origin_end", node))
+    for j, interval in enumerate(data_group):
+        events.append((interval[0], 1, "data_start", j))
+        events.append((interval[-1], 2, "data_end", j))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    active_origins: dict[int, int] = {}  # node -> interval start
+    open_data: dict[int, dict[int, int]] = {}  # data idx -> {node: overlap}
+    results: list[tuple[int, int] | None] = [None] * len(data_group)
+    used: set[int] = set()
+
+    def close_out(j: int, position: int) -> None:
+        overlaps = open_data.pop(j)
+        # Account overlap of origins still active at the data interval end.
+        for node, start in active_origins.items():
+            overlaps[node] = overlaps.get(node, 0) + (
+                position - max(start, data_group[j][0]) + 1
+            )
+        best = max(
+            (
+                (overlap, -node)
+                for node, overlap in overlaps.items()
+                if node not in used
+            ),
+            default=None,
+        )
+        if best is None:
+            raise ShardingError("more data groups than available nodes")
+        node = -best[1]
+        results[j] = (node, best[0])
+        used.add(node)
+
+    for position, _, kind, index in events:
+        if kind == "origin_start":
+            active_origins[index] = position
+        elif kind == "data_start":
+            open_data[index] = {}
+        elif kind == "data_end":
+            close_out(index, position)
+        else:  # origin_end
+            start = active_origins.pop(index)
+            for j, overlaps in open_data.items():
+                lo = max(start, data_group[j][0])
+                if position >= lo:
+                    overlaps[index] = overlaps.get(index, 0) + (position - lo + 1)
+
+    assert all(r is not None for r in results)
+    return [node for node, _ in results]  # type: ignore[misc]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """The outcome of data/parity node selection.
+
+    Attributes:
+        data_nodes: ``data_nodes[j]`` hosts data chunk ``j``.
+        parity_nodes: ``parity_nodes[i]`` hosts parity chunk ``i``.
+        data_group: the logical worker partition, ``data_group[j]`` being
+            the workers whose packets form chunk ``j``.
+    """
+
+    data_nodes: list[int]
+    parity_nodes: list[int]
+    data_group: list[list[int]]
+
+    @property
+    def k(self) -> int:
+        return len(self.data_nodes)
+
+    @property
+    def m(self) -> int:
+        return len(self.parity_nodes)
+
+    def chunk_of_node(self, node: int) -> tuple[str, int]:
+        """(kind, chunk index) stored by ``node``; kind is 'data'/'parity'."""
+        if node in self.data_nodes:
+            return ("data", self.data_nodes.index(node))
+        if node in self.parity_nodes:
+            return ("parity", self.parity_nodes.index(node))
+        raise ShardingError(f"node {node} is in neither role")
+
+
+def build_data_group(world_size: int, k: int) -> list[list[int]]:
+    """Partition workers into ``k`` equal consecutive groups.
+
+    Raises:
+        ShardingError: if ``k`` does not divide the world size.
+    """
+    if k < 1 or world_size % k:
+        raise ShardingError(
+            f"k={k} must divide world size {world_size}"
+        )
+    per = world_size // k
+    return [list(range(j * per, (j + 1) * per)) for j in range(k)]
+
+
+def select_data_parity_nodes(
+    origin_group: list[list[int]], k: int
+) -> PlacementPlan:
+    """Full placement: sweep-line data-node choice, rest become parity.
+
+    Args:
+        origin_group: physical worker intervals per node (see
+            :meth:`repro.parallel.topology.ClusterSpec.origin_groups`).
+        k: number of data nodes; ``m = len(origin_group) - k``.
+    """
+    n = len(origin_group)
+    if not 1 <= k <= n:
+        raise ShardingError(f"k={k} out of range [1, {n}]")
+    world_size = sum(len(g) for g in origin_group)
+    data_group = build_data_group(world_size, k)
+    data_nodes = max_overlap_pairing_sweepline(origin_group, data_group)
+    parity_nodes = [node for node in range(n) if node not in set(data_nodes)]
+    return PlacementPlan(
+        data_nodes=data_nodes, parity_nodes=parity_nodes, data_group=data_group
+    )
+
+
+def p2p_data_transfer_count(plan: PlacementPlan, origin_group: list[list[int]]) -> int:
+    """Data packets that must move during P2P placement.
+
+    Data node ``j`` must end up holding every packet of data group ``j``;
+    packets already resident on it move for free.  This is the quantity the
+    sweep-line selection minimises (Fig. 9 of the paper).
+    """
+    moves = 0
+    for j, workers in enumerate(plan.data_group):
+        resident = set(origin_group[plan.data_nodes[j]])
+        moves += sum(1 for w in workers if w not in resident)
+    return moves

@@ -1,0 +1,157 @@
+"""Serialization-free encoding/decoding protocol (paper Sec. III-C).
+
+Each worker's decomposed ``state_dict`` becomes a fixed-size **data
+packet**: the concatenated raw tensor bytes, zero-padded to the cluster-wide
+packet size (packets must be equal-sized for XOR reduction across workers).
+The tiny metadata — non-tensor key-value pairs, tensor keys/shapes, and the
+true payload length — is pickled once and broadcast to every node, so any
+survivor can rebuild any worker's ``state_dict`` around recovered packet
+bytes without ever serializing tensor data.
+
+Per reduction group the ``k`` packets of the group's workers form one
+codeword position: parity packet ``i`` is ``XOR_j B(E'[i][j]) d_j`` — the
+encode step computes ``B(E'[i][j]) d_j`` locally on each worker and the XOR
+reduction combines them (Eqn. 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CheckpointError, DecodeError
+from repro.ec.base import ErasureCode
+from repro.tensors.serialization import (
+    Decomposition,
+    decompose_state_dict,
+    recompose_state_dict,
+)
+
+
+def packet_size_for(payload_lengths: list[int], alignment: int = 64) -> int:
+    """Cluster-wide packet size: the max payload, rounded up to alignment."""
+    if not payload_lengths:
+        raise CheckpointError("no payloads to size packets for")
+    largest = max(payload_lengths)
+    if largest == 0:
+        return alignment
+    return ((largest + alignment - 1) // alignment) * alignment
+
+
+@dataclass
+class DataPacket:
+    """One worker's checkpoint payload, padded to the common packet size."""
+
+    worker: int
+    payload: np.ndarray  # uint8, length == packet size
+    original_length: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.payload.nbytes
+
+
+@dataclass
+class WorkerCheckpoint:
+    """Everything a worker contributes to one checkpoint version."""
+
+    worker: int
+    packet: DataPacket
+    metadata_blob: bytes
+
+
+def build_worker_checkpoint(
+    worker: int, state_dict: dict, packet_size: int
+) -> WorkerCheckpoint:
+    """Step 1 + packetisation: decompose, offload, pad into a packet.
+
+    Raises:
+        CheckpointError: if the tensor payload exceeds the packet size.
+    """
+    decomposition = decompose_state_dict(state_dict, offload_to_cpu=True)
+    raw = decomposition.concatenated_tensor_bytes()
+    if raw.nbytes > packet_size:
+        raise CheckpointError(
+            f"worker {worker} payload {raw.nbytes} exceeds packet size {packet_size}"
+        )
+    payload = np.zeros(packet_size, dtype=np.uint8)
+    payload[: raw.nbytes] = raw
+    return WorkerCheckpoint(
+        worker=worker,
+        packet=DataPacket(worker=worker, payload=payload, original_length=raw.nbytes),
+        metadata_blob=decomposition.metadata_blob(),
+    )
+
+
+def restore_state_dict(metadata_blob: bytes, packet_payload: np.ndarray) -> dict:
+    """Inverse of :func:`build_worker_checkpoint`: packet bytes -> state_dict."""
+    decomposition = Decomposition.from_metadata_blob(metadata_blob)
+    total = sum(meta.nbytes for meta in decomposition.tensor_meta)
+    if packet_payload.nbytes < total:
+        raise DecodeError(
+            f"packet holds {packet_payload.nbytes} bytes but metadata "
+            f"describes {total}"
+        )
+    decomposition.tensor_data = decomposition.split_tensor_bytes(
+        np.ascontiguousarray(packet_payload[:total], dtype=np.uint8)
+    )
+    return recompose_state_dict(decomposition)
+
+
+def encode_packet(
+    code: ErasureCode, data_group_index: int, payload: np.ndarray
+) -> list[np.ndarray]:
+    """The per-worker encode step: ``B(E'[i][j]) d`` for every parity ``i``.
+
+    Args:
+        code: the (k, m) erasure code.
+        data_group_index: ``j``, the worker's data-group (chunk) index.
+        payload: the worker's packet bytes.
+
+    Returns:
+        ``m`` encoded packets; XORing these across the reduction group's
+        workers yields the parity packets.
+    """
+    parity = code.parity_matrix
+    field = code.field
+    out: list[np.ndarray] = []
+    for i in range(code.params.m):
+        coeff = int(parity[i, data_group_index])
+        out.append(field.mul_region(coeff, payload))
+    return out
+
+
+def xor_reduce(encoded_packets: list[np.ndarray]) -> np.ndarray:
+    """XOR a reduction group's encoded packets into one parity packet."""
+    if not encoded_packets:
+        raise CheckpointError("nothing to reduce")
+    acc = encoded_packets[0].copy()
+    for packet in encoded_packets[1:]:
+        np.bitwise_xor(acc, packet, out=acc)
+    return acc
+
+
+def decode_group(
+    code: ErasureCode, available: dict[int, np.ndarray]
+) -> list[np.ndarray]:
+    """Recover a reduction group's ``k`` data packets from any ``k`` chunks.
+
+    ``available`` maps chunk id (0..k-1 data, k..k+m-1 parity) to that
+    chunk's packet for this reduction group.
+    """
+    return code.decode(available)
+
+
+def reencode_parity(
+    code: ErasureCode, data_packets: list[np.ndarray], parity_index: int
+) -> np.ndarray:
+    """Recompute one parity packet from a group's data packets.
+
+    Used on the redundancy-restoration path after recovery.
+    """
+    if len(data_packets) != code.params.k:
+        raise CheckpointError(
+            f"need {code.params.k} data packets, got {len(data_packets)}"
+        )
+    return code.encode(data_packets)[parity_index]

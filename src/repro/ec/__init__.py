@@ -1,0 +1,50 @@
+"""Erasure codes and block encoders.
+
+The coding stack has three levels:
+
+1. **Codes** (:class:`~repro.ec.base.ErasureCode` subclasses) own a
+   systematic generator matrix over GF(2^w): Cauchy Reed-Solomon
+   (:class:`~repro.ec.cauchy.CauchyRSCode`, the scheme ECCheck uses),
+   classic Vandermonde Reed-Solomon, the repetition code used by
+   replication baselines, and a single-parity XOR code.
+2. **Schedules** (:mod:`repro.ec.schedule`) compile a Cauchy bitmatrix into
+   an explicit list of XOR operations, with an optimised variant that reuses
+   intermediate parity rows.
+3. **Encoders** (:mod:`repro.ec.encoder`, :mod:`repro.ec.threadpool`) apply
+   a code to real byte payloads — splitting, padding, chunking for
+   thread-pool parallelism, and reassembling decoded output.
+"""
+
+from repro.ec.base import CodeParams, ErasureCode
+from repro.ec.cauchy import (
+    CauchyRSCode,
+    bitmatrix_ones,
+    build_cauchy_good_matrix,
+    build_cauchy_matrix,
+)
+from repro.ec.vandermonde import VandermondeRSCode, build_vandermonde_generator
+from repro.ec.replication import ReplicationCode
+from repro.ec.xor_code import SingleParityCode
+from repro.ec.schedule import XorSchedule, dumb_schedule, smart_schedule
+from repro.ec.encoder import BlockEncoder, pad_and_split, reassemble
+from repro.ec.threadpool import ThreadPoolEncoder
+
+__all__ = [
+    "CodeParams",
+    "ErasureCode",
+    "CauchyRSCode",
+    "bitmatrix_ones",
+    "build_cauchy_good_matrix",
+    "build_cauchy_matrix",
+    "VandermondeRSCode",
+    "build_vandermonde_generator",
+    "ReplicationCode",
+    "SingleParityCode",
+    "XorSchedule",
+    "dumb_schedule",
+    "smart_schedule",
+    "BlockEncoder",
+    "pad_and_split",
+    "reassemble",
+    "ThreadPoolEncoder",
+]

@@ -1,0 +1,196 @@
+"""Erasure-code abstraction shared by every coding scheme in the package.
+
+A code is systematic: chunk ids ``0..k-1`` are the original data chunks and
+``k..k+m-1`` are parity chunks.  Every concrete code supplies a
+``(k + m) x k`` generator matrix over GF(2^w) whose top ``k`` rows form the
+identity; encoding and decoding are implemented once here in terms of that
+matrix, using the vectorised region operations from :mod:`repro.gf.field`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodeConfigError, DecodeError
+from repro.gf.field import GF
+from repro.gf.matrix import gf_matinv
+
+
+@dataclass(frozen=True)
+class CodeParams:
+    """Parameters of an (n = k + m, k) systematic erasure code.
+
+    Attributes:
+        k: number of data chunks.
+        m: number of parity chunks; the code tolerates any ``m`` erasures.
+        w: word size of the underlying field GF(2^w).
+    """
+
+    k: int
+    m: int
+    w: int = 8
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise CodeConfigError(f"k must be >= 1, got {self.k}")
+        if self.m < 0:
+            raise CodeConfigError(f"m must be >= 0, got {self.m}")
+        if self.w not in (1, 2, 4, 8, 16):
+            raise CodeConfigError(f"unsupported word size w={self.w}")
+
+    @property
+    def n(self) -> int:
+        """Total number of chunks."""
+        return self.k + self.m
+
+
+class ErasureCode(ABC):
+    """A systematic MDS (or repetition) erasure code over GF(2^w).
+
+    Subclasses provide :meth:`build_generator`; encoding, decodability
+    checks, and decoding are inherited.
+    """
+
+    def __init__(self, params: CodeParams):
+        self.params = params
+        self.field = GF(params.w)
+        self._generator: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_generator(self) -> np.ndarray:
+        """Return the ``(k + m) x k`` generator matrix over GF(2^w)."""
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """The cached generator matrix (top ``k`` rows are the identity)."""
+        if self._generator is None:
+            gen = np.asarray(self.build_generator(), dtype=np.uint32)
+            expected = (self.params.n, self.params.k)
+            if gen.shape != expected:
+                raise CodeConfigError(
+                    f"generator shape {gen.shape} != expected {expected}"
+                )
+            if not np.array_equal(gen[: self.params.k], np.eye(self.params.k)):
+                raise CodeConfigError("generator matrix must be systematic")
+            self._generator = gen
+        return self._generator
+
+    @property
+    def parity_matrix(self) -> np.ndarray:
+        """The bottom ``m x k`` block of the generator matrix."""
+        return self.generator_matrix[self.params.k :]
+
+    # ------------------------------------------------------------------
+    def _check_blocks(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        if len(blocks) != self.params.k:
+            raise CodeConfigError(
+                f"expected {self.params.k} data blocks, got {len(blocks)}"
+            )
+        sizes = {b.nbytes for b in blocks}
+        if len(sizes) != 1:
+            raise CodeConfigError(f"data blocks differ in size: {sorted(sizes)}")
+        size = sizes.pop()
+        if self.params.w == 16 and size % 2:
+            raise CodeConfigError("block size must be even for w=16")
+        return [np.ascontiguousarray(b, dtype=np.uint8).ravel() for b in blocks]
+
+    def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Compute the ``m`` parity blocks from ``k`` equal-size data blocks.
+
+        Blocks are uint8 numpy arrays; the returned parity blocks have the
+        same size.  The data blocks are not modified.
+        """
+        blocks = self._check_blocks(data_blocks)
+        parity = self.parity_matrix
+        out: list[np.ndarray] = []
+        for row in range(self.params.m):
+            acc = np.zeros(blocks[0].shape, dtype=np.uint8)
+            for col in range(self.params.k):
+                coeff = int(parity[row, col])
+                if coeff == 0:
+                    continue
+                self.field.mul_region_xor_into(coeff, blocks[col], acc)
+            out.append(acc)
+        return out
+
+    def can_decode(self, available_ids: set[int] | list[int]) -> bool:
+        """True if the given chunk ids suffice to reconstruct all data.
+
+        For MDS codes this is ``len(ids) >= k`` with an invertible submatrix
+        (always invertible for MDS constructions); checked explicitly so the
+        repetition code can override nothing.
+        """
+        ids = sorted(set(available_ids))
+        if any(i < 0 or i >= self.params.n for i in ids):
+            raise CodeConfigError(f"chunk ids out of range: {ids}")
+        if len(ids) < self.params.k:
+            return False
+        sub = self.generator_matrix[ids[: self.params.k]]
+        from repro.gf.matrix import is_invertible
+
+        return is_invertible(sub, self.field)
+
+    def decoding_matrix(self, available_ids: list[int]) -> np.ndarray:
+        """The ``k x k`` matrix mapping the chosen surviving chunks to data.
+
+        ``available_ids`` must list exactly ``k`` distinct chunk ids.  The
+        returned matrix ``D`` satisfies ``data = D @ survivors`` over
+        GF(2^w).  This is the matrix the paper calls the decoding matrix
+        ``E'`` (Eqn. 5).
+        """
+        ids = list(available_ids)
+        if len(ids) != self.params.k or len(set(ids)) != self.params.k:
+            raise DecodeError(
+                f"need exactly k={self.params.k} distinct chunk ids, got {ids}"
+            )
+        sub = self.generator_matrix[ids]
+        return gf_matinv(sub, self.field)
+
+    def decode(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Reconstruct the ``k`` original data blocks.
+
+        Args:
+            available: mapping from chunk id (0..n-1) to its block.  Any
+                ``k`` chunks of an MDS code suffice; extra chunks are
+                ignored (data chunks are preferred to minimise work).
+
+        Raises:
+            DecodeError: if fewer than ``k`` chunks are available.
+        """
+        if len(available) < self.params.k:
+            raise DecodeError(
+                f"need {self.params.k} chunks to decode, got {len(available)}"
+            )
+        # Prefer surviving data chunks: each one we keep is a free copy.
+        ids = sorted(available, key=lambda i: (i >= self.params.k, i))
+        chosen = ids[: self.params.k]
+        matrix = self.decoding_matrix(chosen)
+        blocks = [
+            np.ascontiguousarray(available[i], dtype=np.uint8).ravel() for i in chosen
+        ]
+        sizes = {b.nbytes for b in blocks}
+        if len(sizes) != 1:
+            raise DecodeError(f"surviving blocks differ in size: {sorted(sizes)}")
+        out: list[np.ndarray] = []
+        for row in range(self.params.k):
+            acc = np.zeros(blocks[0].shape, dtype=np.uint8)
+            for col in range(self.params.k):
+                coeff = int(matrix[row, col])
+                if coeff == 0:
+                    continue
+                self.field.mul_region_xor_into(coeff, blocks[col], acc)
+            out.append(acc)
+        return out
+
+    def encode_all(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Return all ``n`` chunks: the data blocks followed by parity."""
+        blocks = self._check_blocks(data_blocks)
+        return [b.copy() for b in blocks] + self.encode(blocks)
+
+    def __repr__(self) -> str:
+        p = self.params
+        return f"{type(self).__name__}(k={p.k}, m={p.m}, w={p.w})"

@@ -1,0 +1,40 @@
+"""Repetition code: the coding-theoretic view of replication.
+
+GEMINI-style replication (the paper's **base3**) stores full copies of each
+chunk.  Expressed in the :class:`~repro.ec.base.ErasureCode` framework it is
+the ``(1 + m, 1)`` repetition code: every generator row is ``[1]``, parity
+chunks are byte copies of the single data chunk, and any one surviving chunk
+decodes.  Exposing it through the same ABC lets the analysis and benchmark
+layers swap codes without special cases, making the redundancy comparison in
+the paper's Fig. 2 directly executable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.base import CodeParams, ErasureCode
+
+
+class ReplicationCode(ErasureCode):
+    """``m``-way replication of a single data chunk, as a systematic code.
+
+    ``CodeParams.k`` must be 1; the generic MDS machinery then degenerates
+    to plain copying.
+    """
+
+    def __init__(self, params: CodeParams):
+        if params.k != 1:
+            raise ValueError(
+                "ReplicationCode replicates a single chunk; use k=1 "
+                f"(got k={params.k}). Group-level replication lives in "
+                "repro.checkpoint.replication."
+            )
+        super().__init__(params)
+
+    def build_generator(self) -> np.ndarray:
+        return np.ones((self.params.n, 1), dtype=np.uint32)
+
+    def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        blocks = self._check_blocks(data_blocks)
+        return [blocks[0].copy() for _ in range(self.params.m)]

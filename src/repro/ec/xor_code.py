@@ -1,0 +1,45 @@
+"""Single-parity XOR code (RAID-4/5 style).
+
+The simplest non-trivial erasure code: one parity chunk equal to the XOR of
+all ``k`` data chunks, tolerating exactly one erasure.  It is the ``m = 1``
+special case the ECRM system (cited in the paper as a single-failure
+predecessor of ECCheck) relies on, and serves as a fast-path reference in
+tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodeConfigError
+from repro.ec.base import CodeParams, ErasureCode
+
+
+class SingleParityCode(ErasureCode):
+    """``(k + 1, k)`` XOR parity code.
+
+    ``CodeParams.m`` must be 1.  Encoding and single-erasure decoding are
+    plain XORs; the generic matrix path would produce the same bytes but
+    this override keeps the hot path allocation-light.
+    """
+
+    def __init__(self, params: CodeParams):
+        if params.m != 1:
+            raise CodeConfigError(
+                f"SingleParityCode requires m=1, got m={params.m}"
+            )
+        super().__init__(params)
+
+    def build_generator(self) -> np.ndarray:
+        k = self.params.k
+        gen = np.zeros((k + 1, k), dtype=np.uint32)
+        gen[:k] = np.eye(k, dtype=np.uint32)
+        gen[k] = 1
+        return gen
+
+    def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        blocks = self._check_blocks(data_blocks)
+        acc = blocks[0].copy()
+        for block in blocks[1:]:
+            np.bitwise_xor(acc, block, out=acc)
+        return [acc]

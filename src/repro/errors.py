@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across the package.
+
+All errors raised by ``repro`` derive from :class:`ReproError` so callers can
+catch everything from this library with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (e.g. division by zero, bad word size)."""
+
+
+class MatrixError(ReproError):
+    """Matrix operation failed (singular matrix, shape mismatch)."""
+
+
+class CodeConfigError(ReproError):
+    """Erasure-code parameters are invalid (e.g. k + m exceeds field size)."""
+
+
+class DecodeError(ReproError):
+    """Not enough surviving chunks (or inconsistent chunks) to decode."""
+
+
+class ShardingError(ReproError):
+    """Parallelism specification cannot shard the given model/cluster."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint engine failure (bad state, missing chunks, version skew)."""
+
+
+class RecoveryError(CheckpointError):
+    """Recovery is impossible for the observed failure pattern."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation misuse (time travel, unknown link, ...)."""
+
+
+class SchedulingError(ReproError):
+    """Communication scheduling failed (no idle slots, bad profile)."""

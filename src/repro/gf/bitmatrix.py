@@ -1,0 +1,115 @@
+"""GF(2) bitmatrix projection of GF(2^w) matrices.
+
+Cauchy Reed-Solomon coding (the scheme ECCheck adopts) rewrites every field
+multiplication as a small binary matrix acting on the bit-decomposition of a
+word.  A field element ``e`` becomes a ``w x w`` binary matrix ``B(e)`` whose
+``j``-th column holds the bits of ``e * x^j`` (where ``x = 2`` is the field
+generator); a full ``rows x cols`` coding matrix becomes a
+``rows*w x cols*w`` binary matrix.  Multiplication by the bitmatrix is then a
+pure XOR computation — the property that makes CRS fast on CPUs.
+
+Bitmatrices here are numpy uint8 arrays containing 0/1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixError
+from repro.gf.field import GF
+
+
+def bitmatrix_from_element(e: int, field: GF) -> np.ndarray:
+    """The ``w x w`` binary matrix representing multiplication by ``e``.
+
+    Column ``j`` contains the bits (LSB first) of ``e * 2^j`` in GF(2^w).
+    ``B(e) @ bits(v) == bits(e * v)`` over GF(2) for every field element
+    ``v``.
+    """
+    w = field.w
+    out = np.zeros((w, w), dtype=np.uint8)
+    value = e
+    for j in range(w):
+        for i in range(w):
+            out[i, j] = (value >> i) & 1
+        value = field.mul(value, 2)
+    return out
+
+
+def bitmatrix_from_matrix(mat: np.ndarray, field: GF) -> np.ndarray:
+    """Expand a matrix of field elements into its GF(2) bitmatrix."""
+    mat = np.asarray(mat, dtype=np.uint32)
+    if mat.ndim != 2:
+        raise MatrixError(f"expected a 2-D matrix, got shape {mat.shape}")
+    rows, cols = mat.shape
+    w = field.w
+    out = np.zeros((rows * w, cols * w), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i * w : (i + 1) * w, j * w : (j + 1) * w] = bitmatrix_from_element(
+                int(mat[i, j]), field
+            )
+    return out
+
+
+def bitmatrix_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Binary matrix product over GF(2)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape[1] != b.shape[0]:
+        raise MatrixError(f"shape mismatch: {a.shape} @ {b.shape}")
+    return (a.astype(np.uint32) @ b.astype(np.uint32) % 2).astype(np.uint8)
+
+
+def bitmatrix_rank(mat: np.ndarray) -> int:
+    """Rank over GF(2) via elimination."""
+    work = np.asarray(mat, dtype=np.uint8).copy()
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        pivot = -1
+        for row in range(rank, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot < 0:
+            continue
+        if pivot != rank:
+            work[[rank, pivot]] = work[[pivot, rank]]
+        for row in range(rows):
+            if row != rank and work[row, col]:
+                work[row] ^= work[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def bitmatrix_invert(mat: np.ndarray) -> np.ndarray:
+    """Invert a square binary matrix over GF(2).
+
+    Raises:
+        MatrixError: if the matrix is singular or not square.
+    """
+    mat = np.asarray(mat, dtype=np.uint8)
+    n, m = mat.shape
+    if n != m:
+        raise MatrixError(f"cannot invert non-square matrix of shape {mat.shape}")
+    work = mat.copy()
+    inv = np.eye(n, dtype=np.uint8)
+    for col in range(n):
+        pivot = -1
+        for row in range(col, n):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot < 0:
+            raise MatrixError("bitmatrix is singular over GF(2)")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        for row in range(n):
+            if row != col and work[row, col]:
+                work[row] ^= work[col]
+                inv[row] ^= inv[col]
+    return inv

@@ -1,0 +1,204 @@
+"""Scalar and vectorised arithmetic over GF(2^w).
+
+:class:`GF` wraps the log/antilog tables from :mod:`repro.gf.tables` with a
+clean API.  Two kinds of operations are exposed:
+
+* scalar operations on Python ints (``mul``, ``div``, ``inv``, ``pow``) used
+  when building and inverting small coding matrices, and
+* region operations on numpy byte buffers (``mul_region``,
+  ``mul_region_into``) used on the hot encoding path, where a single field
+  constant multiplies an entire packet.
+
+Region operations use per-constant lookup tables: for w = 8 a 256-entry
+table; for w = 16 a pair of 256-entry tables (the product distributes over
+the high and low bytes of each 16-bit word); for w <= 4 values are packed one
+per byte.  This mirrors how CPU erasure-coding libraries such as Jerasure
+implement ``galois_w08_region_multiply``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_tables
+
+SUPPORTED_WORD_SIZES: tuple[int, ...] = tuple(sorted(PRIMITIVE_POLYNOMIALS))
+
+
+class GF:
+    """Arithmetic in the finite field GF(2^w).
+
+    Instances are cached per word size (``GF(8) is GF(8)``), so construction
+    is cheap to repeat.
+
+    Example:
+        >>> f = GF(8)
+        >>> f.mul(3, 7)
+        9
+        >>> f.mul(f.inv(5), 5)
+        1
+    """
+
+    _instances: dict[int, "GF"] = {}
+
+    def __new__(cls, w: int) -> "GF":
+        if w not in PRIMITIVE_POLYNOMIALS:
+            raise FieldError(
+                f"unsupported word size w={w}; supported: {list(SUPPORTED_WORD_SIZES)}"
+            )
+        if w not in cls._instances:
+            instance = super().__new__(cls)
+            instance._init(w)
+            cls._instances[w] = instance
+        return cls._instances[w]
+
+    def _init(self, w: int) -> None:
+        self.w = w
+        self.size = 1 << w
+        self.order = self.size - 1
+        self.exp, self.log = build_tables(w)
+
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+    def _check(self, *values: int) -> None:
+        for v in values:
+            if not 0 <= v < self.size:
+                raise FieldError(f"value {v} out of range for GF(2^{self.w})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction = XOR in characteristic 2)."""
+        self._check(a, b)
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp[int(self.log[a]) + int(self.log[b])])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``.
+
+        Raises:
+            FieldError: if ``b`` is zero.
+        """
+        self._check(a, b)
+        if b == 0:
+            raise FieldError("division by zero in GF(2^w)")
+        if a == 0:
+            return 0
+        return int(self.exp[int(self.log[a]) - int(self.log[b]) + self.order])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of ``a``.
+
+        Raises:
+            FieldError: if ``a`` is zero.
+        """
+        self._check(a)
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return int(self.exp[self.order - int(self.log[a])])
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise ``a`` to integer power ``e`` (``e`` may be negative)."""
+        self._check(a)
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise FieldError("zero has no negative powers")
+            return 0
+        la = int(self.log[a]) * e
+        return int(self.exp[la % self.order])
+
+    # ------------------------------------------------------------------
+    # Vectorised operations on arrays of field elements
+    # ------------------------------------------------------------------
+    def mul_array(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two arrays of field elements."""
+        a = np.asarray(a, dtype=np.uint32)
+        b = np.asarray(b, dtype=np.uint32)
+        out = self.exp[self.log[a] + self.log[b]]
+        zero = (a == 0) | (b == 0)
+        out = np.where(zero, 0, out)
+        return out.astype(np.uint32)
+
+    # ------------------------------------------------------------------
+    # Region operations (constant times a byte buffer)
+    # ------------------------------------------------------------------
+    @lru_cache(maxsize=4096)
+    def _region_table(self, c: int) -> np.ndarray:
+        """Lookup table(s) that map raw bytes to ``c * value`` bytes.
+
+        For w <= 8 the result is a single 256-entry table; for w = 16 the
+        result is a ``(2, 256)`` array of uint16 whose rows correspond to the
+        high and low byte contributions.
+        """
+        if self.w <= 4:
+            # One packed value per nibble pair is overkill for a simulator;
+            # store one value per byte (high bits of the byte must be zero).
+            values = np.arange(256, dtype=np.uint32)
+            masked = values & (self.size - 1)
+            return self.mul_array(np.full(256, c, dtype=np.uint32), masked).astype(
+                np.uint8
+            )
+        if self.w == 8:
+            values = np.arange(256, dtype=np.uint32)
+            return self.mul_array(np.full(256, c, dtype=np.uint32), values).astype(
+                np.uint8
+            )
+        if self.w == 16:
+            lo = np.arange(256, dtype=np.uint32)
+            hi = lo << 8
+            c_arr = np.full(256, c, dtype=np.uint32)
+            table = np.empty((2, 256), dtype=np.uint16)
+            table[0] = self.mul_array(c_arr, hi).astype(np.uint16)
+            table[1] = self.mul_array(c_arr, lo).astype(np.uint16)
+            return table
+        raise FieldError(f"region operations unsupported for w={self.w}")
+
+    def words_view(self, buf: np.ndarray) -> np.ndarray:
+        """View a uint8 buffer as an array of field words.
+
+        For w <= 8 this is the buffer itself; for w = 16 it is a uint16 view
+        (the buffer length must be even).
+        """
+        buf = np.ascontiguousarray(buf, dtype=np.uint8)
+        if self.w <= 8:
+            return buf
+        if self.w == 16:
+            if buf.size % 2:
+                raise FieldError("buffer length must be a multiple of 2 for w=16")
+            return buf.view(np.uint16)
+        raise FieldError(f"region operations unsupported for w={self.w}")
+
+    def mul_region(self, c: int, buf: np.ndarray) -> np.ndarray:
+        """Return ``c * buf`` where ``buf`` is a uint8 buffer of field words."""
+        self._check(c)
+        buf = np.ascontiguousarray(buf, dtype=np.uint8)
+        if c == 0:
+            return np.zeros_like(buf)
+        if c == 1:
+            return buf.copy()
+        if self.w <= 8:
+            table = self._region_table(c)
+            return table[buf]
+        words = self.words_view(buf)
+        table = self._region_table(c)
+        out = table[0][(words >> 8).astype(np.uint8)] ^ table[1][
+            (words & 0xFF).astype(np.uint8)
+        ]
+        return out.view(np.uint8).reshape(buf.shape)
+
+    def mul_region_xor_into(self, c: int, buf: np.ndarray, out: np.ndarray) -> None:
+        """Compute ``out ^= c * buf`` in place (the encoder inner loop)."""
+        product = self.mul_region(c, buf)
+        np.bitwise_xor(out, product, out=out)

@@ -1,0 +1,33 @@
+"""Model zoo reproducing the paper's Table I.
+
+GPT-2, BERT and T5 at hidden sizes 1600/2560/5120 (1.6B / 5.3B / 20B
+parameters).  The models are never trained here — what checkpointing needs
+is the exact *structure* of each worker's sharded ``state_dict``: parameter
+tensors with realistic shapes, Adam optimizer moments, RNG state, and
+non-tensor metadata.  :func:`~repro.models.factory.build_worker_state_dict`
+materialises that structure at a configurable byte scale so tests stay fast
+while benchmarks account full-size byte volumes analytically.
+"""
+
+from repro.models.config import (
+    MODEL_ZOO,
+    CheckpointSizeModel,
+    ModelConfig,
+    get_model_config,
+    table1_configs,
+)
+from repro.models.transformer import layer_parameter_shapes, parameter_shapes
+from repro.models.optimizer import adam_state_shapes
+from repro.models.factory import build_worker_state_dict
+
+__all__ = [
+    "MODEL_ZOO",
+    "CheckpointSizeModel",
+    "ModelConfig",
+    "get_model_config",
+    "table1_configs",
+    "layer_parameter_shapes",
+    "parameter_shapes",
+    "adam_state_shapes",
+    "build_worker_state_dict",
+]

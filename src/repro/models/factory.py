@@ -1,0 +1,99 @@
+"""Materialise realistic worker ``state_dict`` instances.
+
+The checkpoint engines operate on *real bytes*: tests verify bit-exact
+recovery of the restored dict.  Materialising a 20B-parameter shard is
+obviously off the table, so the factory supports a ``scale`` factor that
+shrinks each tensor's leading dimension while preserving the full structure
+(tensor count, name layout, mixed dtypes, CPU-resident RNG state and
+metadata).  Benchmarks account full-size byte volumes analytically through
+:class:`~repro.models.config.CheckpointSizeModel` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+from repro.models.optimizer import adam_state_shapes
+from repro.models.transformer import NamedShape, Shape
+from repro.tensors.tensor import CPU, GPU, SimTensor
+
+
+def scale_shape(shape: Shape, scale: float) -> Shape:
+    """Shrink a tensor shape by ``scale`` along its leading dimension.
+
+    Every dimension stays >= 1, so tiny scales still yield valid tensors
+    and the tensor *count* of a shard never changes.
+    """
+    if scale <= 0 or scale > 1:
+        raise ReproError(f"scale must be in (0, 1], got {scale}")
+    if not shape:
+        return shape
+    head = max(1, int(round(shape[0] * scale)))
+    return (head,) + tuple(shape[1:])
+
+
+def build_worker_state_dict(
+    param_shapes: list[NamedShape],
+    iteration: int = 0,
+    seed: int = 0,
+    scale: float = 1.0,
+    master_weights: bool = True,
+    param_dtype: str = "float16",
+    optimizer_dtype: str = "float32",
+    extra_metadata: dict[str, Any] | None = None,
+) -> dict:
+    """Build one worker's sharded checkpoint ``state_dict``.
+
+    The layout mirrors a Megatron-style checkpoint:
+
+    * ``model`` — parameter tensors (GPU, fp16 by default),
+    * ``optimizer`` — Adam step plus per-parameter ``exp_avg``,
+      ``exp_avg_sq`` and optional fp32 ``master`` copies (GPU),
+    * ``rng_state`` — dataloader/numpy RNG state (CPU tensor),
+    * non-tensor metadata: iteration, checkpoint version, and any caller
+      extras.
+
+    Args:
+        param_shapes: the ``(name, shape)`` parameters this worker owns.
+        iteration: training iteration recorded in the checkpoint.
+        seed: base RNG seed; each tensor gets a distinct derived seed.
+        scale: leading-dimension shrink factor (see :func:`scale_shape`).
+        master_weights: include fp32 master copies in optimizer state.
+        param_dtype: dtype of model parameters.
+        optimizer_dtype: dtype of optimizer moments and master weights.
+        extra_metadata: additional non-tensor key-value pairs to embed.
+    """
+    model: dict[str, SimTensor] = {}
+    for idx, (name, shape) in enumerate(param_shapes):
+        model[name] = SimTensor.random(
+            scale_shape(shape, scale), dtype=param_dtype, device=GPU, seed=seed * 7919 + idx
+        )
+
+    opt_state: dict[str, dict[str, SimTensor]] = {}
+    opt_shapes = adam_state_shapes(param_shapes, master_weights=master_weights)
+    for idx, (full_name, shape) in enumerate(opt_shapes):
+        param_name, slot = full_name.rsplit(".", 1)
+        opt_state.setdefault(param_name, {})[slot] = SimTensor.random(
+            scale_shape(shape, scale),
+            dtype=optimizer_dtype,
+            device=GPU,
+            seed=seed * 104729 + 1000 + idx,
+        )
+
+    state_dict: dict[str, Any] = {
+        "model": model,
+        "optimizer": {
+            "step": iteration,
+            "state": opt_state,
+        },
+        "rng_state": {
+            "numpy": SimTensor.random((16,), dtype="uint32", device=CPU, seed=seed + 5),
+            "dataloader_position": iteration * 1024,
+        },
+        "iteration": iteration,
+        "checkpoint_version": 3,
+    }
+    if extra_metadata:
+        state_dict["args"] = dict(extra_metadata)
+    return state_dict

@@ -1,0 +1,35 @@
+"""Adam optimizer state shapes.
+
+The paper's training uses the Adam optimizer; its checkpoint therefore
+carries two fp32 moment tensors (``exp_avg``, ``exp_avg_sq``) per parameter
+plus a step counter.  Mixed-precision training additionally keeps an fp32
+master copy of each fp16 parameter, which Megatron stores with the
+optimizer.  These functions produce the optimizer part of a worker's
+``state_dict`` structure given the parameter shapes it owns.
+"""
+
+from __future__ import annotations
+
+from repro.models.transformer import NamedShape
+
+
+def adam_state_shapes(
+    param_shapes: list[NamedShape], master_weights: bool = True
+) -> list[NamedShape]:
+    """Optimizer tensor shapes for the given parameters.
+
+    Args:
+        param_shapes: the ``(name, shape)`` parameters of a shard.
+        master_weights: include fp32 master copies (mixed-precision mode).
+
+    Returns:
+        ``(name, shape)`` pairs for every optimizer tensor, named under the
+        parameter they belong to (``<param>.exp_avg`` etc.).
+    """
+    out: list[NamedShape] = []
+    for name, shape in param_shapes:
+        out.append((f"{name}.exp_avg", shape))
+        out.append((f"{name}.exp_avg_sq", shape))
+        if master_weights:
+            out.append((f"{name}.master", shape))
+    return out

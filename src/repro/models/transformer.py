@@ -1,0 +1,142 @@
+"""Per-tensor parameter shapes for the Table-I transformer families.
+
+The checkpoint layer cares about tensor *names and shapes* (which determine
+shard boundaries and byte counts), not about forward passes.  Shapes follow
+the Megatron-LM conventions: fused QKV projection, 4x MLP, pre-norm
+LayerNorms, tied input embedding.
+
+* **GPT-2**: decoder-only; token + position embeddings, ``num_layers``
+  decoder blocks, final LayerNorm.
+* **BERT**: encoder-only; token + position + token-type embeddings, encoder
+  blocks, pooler head.
+* **T5**: encoder-decoder; layers split evenly, decoder blocks carry an
+  extra cross-attention, relative position bias instead of absolute
+  positions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.models.config import ModelConfig
+
+Shape = tuple[int, ...]
+NamedShape = tuple[str, Shape]
+
+
+def _attention_shapes(prefix: str, hidden: int) -> list[NamedShape]:
+    """Fused self-attention block: QKV + output projection."""
+    return [
+        (f"{prefix}.attention.qkv.weight", (3 * hidden, hidden)),
+        (f"{prefix}.attention.qkv.bias", (3 * hidden,)),
+        (f"{prefix}.attention.dense.weight", (hidden, hidden)),
+        (f"{prefix}.attention.dense.bias", (hidden,)),
+    ]
+
+
+def _cross_attention_shapes(prefix: str, hidden: int) -> list[NamedShape]:
+    """T5 decoder cross-attention: separate Q and fused KV projections."""
+    return [
+        (f"{prefix}.cross_attention.q.weight", (hidden, hidden)),
+        (f"{prefix}.cross_attention.kv.weight", (2 * hidden, hidden)),
+        (f"{prefix}.cross_attention.dense.weight", (hidden, hidden)),
+        (f"{prefix}.cross_attention.dense.bias", (hidden,)),
+    ]
+
+
+def _mlp_shapes(prefix: str, hidden: int, ffn: int) -> list[NamedShape]:
+    return [
+        (f"{prefix}.mlp.dense_h_to_4h.weight", (ffn, hidden)),
+        (f"{prefix}.mlp.dense_h_to_4h.bias", (ffn,)),
+        (f"{prefix}.mlp.dense_4h_to_h.weight", (hidden, ffn)),
+        (f"{prefix}.mlp.dense_4h_to_h.bias", (hidden,)),
+    ]
+
+
+def _norm_shapes(prefix: str, hidden: int) -> list[NamedShape]:
+    return [
+        (f"{prefix}.weight", (hidden,)),
+        (f"{prefix}.bias", (hidden,)),
+    ]
+
+
+def layer_parameter_shapes(
+    config: ModelConfig, layer_index: int, decoder: bool = False
+) -> list[NamedShape]:
+    """Shapes of one transformer block.
+
+    Args:
+        config: the model configuration.
+        layer_index: block index (used only for naming).
+        decoder: if True and the family is T5, adds cross-attention.
+    """
+    h = config.hidden_size
+    ffn = config.ffn_hidden_size
+    stack = "decoder" if decoder else "encoder"
+    prefix = f"{stack}.layers.{layer_index}"
+    shapes: list[NamedShape] = []
+    shapes += _norm_shapes(f"{prefix}.input_norm", h)
+    shapes += _attention_shapes(prefix, h)
+    if decoder and config.family == "t5":
+        shapes += _norm_shapes(f"{prefix}.cross_norm", h)
+        shapes += _cross_attention_shapes(prefix, h)
+    shapes += _norm_shapes(f"{prefix}.post_attention_norm", h)
+    shapes += _mlp_shapes(prefix, h, ffn)
+    return shapes
+
+
+def embedding_shapes(config: ModelConfig) -> list[NamedShape]:
+    """Embedding tables (the 'pre-process' pipeline stage owns these)."""
+    h = config.hidden_size
+    shapes: list[NamedShape] = [
+        ("embedding.word_embeddings.weight", (config.padded_vocab_size, h))
+    ]
+    if config.family in ("gpt2", "bert"):
+        shapes.append(
+            ("embedding.position_embeddings.weight", (config.max_position_embeddings, h))
+        )
+    if config.family == "bert":
+        shapes.append(("embedding.tokentype_embeddings.weight", (2, h)))
+    if config.family == "t5":
+        shapes.append(
+            ("embedding.relative_position_bias", (32, config.num_attention_heads))
+        )
+    return shapes
+
+
+def head_shapes(config: ModelConfig) -> list[NamedShape]:
+    """Output-side tensors (the 'post-process' pipeline stage owns these)."""
+    h = config.hidden_size
+    shapes = _norm_shapes("final_norm", h)
+    if config.family == "bert":
+        shapes += [
+            ("pooler.dense.weight", (h, h)),
+            ("pooler.dense.bias", (h,)),
+        ]
+    return shapes
+
+
+def layer_stacks(config: ModelConfig) -> list[tuple[str, int]]:
+    """The block stacks of the model as ``(stack_name, num_layers)``.
+
+    T5 splits its layers evenly between encoder and decoder; the other
+    families are a single stack.
+
+    Raises:
+        ReproError: for unknown families.
+    """
+    if config.family in ("gpt2", "bert"):
+        return [("encoder", config.num_layers)]
+    if config.family == "t5":
+        half = config.num_layers // 2
+        return [("encoder", half), ("decoder", config.num_layers - half)]
+    raise ReproError(f"unknown model family {config.family!r}")
+
+
+def parameter_shapes(config: ModelConfig) -> list[NamedShape]:
+    """Every parameter tensor of the full (unsharded) model, in order."""
+    shapes = embedding_shapes(config)
+    for stack, count in layer_stacks(config):
+        for i in range(count):
+            shapes += layer_parameter_shapes(config, i, decoder=(stack == "decoder"))
+    shapes += head_shapes(config)
+    return shapes

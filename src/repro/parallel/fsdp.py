@@ -1,0 +1,78 @@
+"""Fully-sharded data parallelism (FSDP / ZeRO-3 style) sharding.
+
+The paper notes ECCheck is most useful when no full model replica exists —
+tensor parallelism, pipeline parallelism, *or FSDP*.  Under FSDP every
+rank holds a 1/W slice of every parameter (and its optimizer state), so a
+node failure loses a unique shard exactly as in the TP/PP case.
+
+Real FSDP flattens parameters into one buffer and splits evenly; we keep
+tensors intact and approximate the even split by dividing each tensor's
+leading dimension across ranks (remainder rows go to the earliest ranks),
+assigning tensors whose leading dimension is smaller than the world size
+to single ranks round-robin.  The union of shards is exactly one model
+copy, and per-rank byte counts are balanced to within the largest single
+tensor row.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShardingError
+from repro.models.config import ModelConfig
+from repro.models.transformer import NamedShape, parameter_shapes
+from repro.parallel.sharding import ShardSpec
+
+
+def fsdp_slice(shape: tuple[int, ...], world_size: int, rank: int) -> tuple[int, ...] | None:
+    """This rank's slice of one tensor, or ``None`` if it holds nothing.
+
+    Tensors with ``dim0 >= world_size`` split their leading dimension
+    (remainder to the earliest ranks); smaller tensors are owned whole by
+    ``dim0 % world_size``-agnostic round-robin assignment handled by the
+    caller.
+    """
+    if not 0 <= rank < world_size:
+        raise ShardingError(f"rank {rank} out of range [0, {world_size})")
+    if not shape:
+        return shape if rank == 0 else None
+    dim0 = shape[0]
+    if dim0 < world_size:
+        return None  # assigned whole by the caller's round-robin
+    base, extra = divmod(dim0, world_size)
+    rows = base + (1 if rank < extra else 0)
+    if rows == 0:
+        return None
+    return (rows,) + tuple(shape[1:])
+
+
+def shard_model_fsdp(config: ModelConfig, world_size: int) -> list[ShardSpec]:
+    """Every rank's FSDP shard of the full model.
+
+    The union of all shards covers each tensor exactly once (tests assert
+    parameter-count equality with the unsharded model).
+    """
+    if world_size < 1:
+        raise ShardingError(f"world_size must be >= 1, got {world_size}")
+    shapes = parameter_shapes(config)
+    per_rank: list[list[NamedShape]] = [[] for _ in range(world_size)]
+    small_cursor = 0
+    for name, shape in shapes:
+        if shape and shape[0] >= world_size:
+            for rank in range(world_size):
+                sliced = fsdp_slice(shape, world_size, rank)
+                if sliced is not None:
+                    per_rank[rank].append((name, sliced))
+        else:
+            # Small tensors (LayerNorm vectors, biases): whole-tensor
+            # round-robin keeps ranks balanced without degenerate slices.
+            per_rank[small_cursor % world_size].append((name, shape))
+            small_cursor += 1
+    return [
+        ShardSpec(
+            worker=rank,
+            tp_rank=0,
+            pp_rank=0,
+            dp_rank=rank,
+            param_shapes=per_rank[rank],
+        )
+        for rank in range(world_size)
+    ]

@@ -1,0 +1,52 @@
+"""Discrete-event cluster simulation.
+
+The paper's evaluation machines (A100 nodes, 100 Gbps fabric, a 5 Gbps
+remote store) are replaced by a flow-level network simulator:
+
+* :mod:`repro.sim.events` — a minimal discrete-event engine.
+* :mod:`repro.sim.network` — links with **max-min fair** bandwidth sharing
+  (progressive filling), so e.g. sixteen workers pushing checkpoints into
+  the 5 Gbps remote-storage pipe each get 1/16th of it, exactly the
+  contention that makes remote checkpointing slow in the paper.
+* :mod:`repro.sim.timeline` — a 1F1B pipeline-parallel training timeline
+  that yields the inter-node busy intervals and the **idle slots** ECCheck
+  schedules its checkpoint traffic into.
+* :mod:`repro.sim.failures` — independent node-failure sampling and
+  Poisson/MTBF failure traces for Monte-Carlo fault-tolerance experiments.
+"""
+
+from repro.sim.events import Simulator
+from repro.sim.network import (
+    ClusterNetwork,
+    Flow,
+    Network,
+    TimeModel,
+    TransferRequest,
+    gbps,
+)
+from repro.sim.timeline import IterationTimeline, Interval, pipeline_schedule_timeline
+from repro.sim.failures import (
+    FailureEvent,
+    poisson_failure_trace,
+    sample_node_failures,
+)
+from repro.sim.goodput import EngineProfile, GoodputResult, simulate_goodput
+
+__all__ = [
+    "Simulator",
+    "ClusterNetwork",
+    "Flow",
+    "Network",
+    "TimeModel",
+    "TransferRequest",
+    "gbps",
+    "IterationTimeline",
+    "Interval",
+    "pipeline_schedule_timeline",
+    "FailureEvent",
+    "poisson_failure_trace",
+    "sample_node_failures",
+    "EngineProfile",
+    "GoodputResult",
+    "simulate_goodput",
+]

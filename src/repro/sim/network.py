@@ -1,0 +1,347 @@
+"""Flow-level network simulation with max-min fair bandwidth sharing.
+
+Transfers are fluid flows over one or more links.  Whenever a flow starts
+or finishes, rates are recomputed by *progressive filling* (the classic
+max-min fairness algorithm): repeatedly saturate the most contended link,
+freeze its flows at the fair share, and continue with the residual network.
+This captures the two contention effects the paper's evaluation hinges on:
+
+* every worker pushing a checkpoint shard into remote storage shares the
+  storage's small aggregate bandwidth (base1/base2's bottleneck), and
+* checkpoint traffic between nodes shares each node's NIC with other
+  checkpoint flows (and, without idle-slot scheduling, with training
+  traffic).
+
+:class:`TimeModel` collects the calibrated constants (bandwidths and CPU
+throughputs).  Defaults follow the paper's testbed: 100 Gbps inter-node
+links, 5 Gbps aggregate to remote storage, PCIe-4 DtoH, and the ~40 Gbps
+CPU erasure-coding throughput the paper cites as achievable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle, Simulator
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class TimeModel:
+    """Calibrated bandwidths and throughputs of the simulated testbed.
+
+    All ``*_gbps`` values are gigabits per second.  CPU-side throughputs
+    are per worker process unless stated otherwise.
+
+    Attributes:
+        dtoh_gbps: GPU-to-host copy bandwidth per GPU (PCIe 4.0 x16).
+        nvlink_gbps: intra-node GPU interconnect bandwidth per node.
+        inter_node_gbps: NIC bandwidth per node, full duplex (the paper's
+            100 Gbps fabric).
+        remote_storage_gbps: *aggregate* bandwidth from the whole cluster
+            to persistent storage (the paper's 5 Gbps).
+        serialize_gbps: torch.save-style serialization throughput.
+        deserialize_gbps: checkpoint load/deserialization throughput.
+        encode_gbps: erasure-coding throughput per worker with the thread
+            pool enabled (paper cites > 40 Gbps as achievable on CPUs).
+        encode_threads: threads in the encoding pool (throughput scales
+            linearly below ``encode_gbps``).
+        memcpy_gbps: host-memory copy throughput (buffer staging).
+        decompose_overhead_s: fixed per-save cost of analysing and
+            decomposing the ``state_dict`` (step 1 bookkeeping).
+    """
+
+    dtoh_gbps: float = 128.0
+    nvlink_gbps: float = 1200.0
+    inter_node_gbps: float = 100.0
+    remote_storage_gbps: float = 5.0
+    serialize_gbps: float = 8.0
+    deserialize_gbps: float = 12.0
+    encode_gbps: float = 40.0
+    encode_threads: int = 4
+    memcpy_gbps: float = 200.0
+    decompose_overhead_s: float = 0.01
+
+    # ------------------------------------------------------------------
+    def dtoh_time(self, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` from one GPU to host memory."""
+        return nbytes / gbps(self.dtoh_gbps)
+
+    def serialize_time(self, nbytes: int) -> float:
+        """Seconds for one worker to serialize ``nbytes`` of state."""
+        return nbytes / gbps(self.serialize_gbps)
+
+    def deserialize_time(self, nbytes: int) -> float:
+        """Seconds for one worker to deserialize ``nbytes``."""
+        return nbytes / gbps(self.deserialize_gbps)
+
+    def encode_time(self, nbytes: int, threads: int | None = None) -> float:
+        """Seconds to erasure-encode ``nbytes`` on one worker's CPU share."""
+        threads = self.encode_threads if threads is None else threads
+        effective = self.encode_gbps * min(1.0, threads / self.encode_threads)
+        return nbytes / gbps(effective)
+
+    def decode_time(self, nbytes: int) -> float:
+        """Seconds to decode ``nbytes`` (same kernel as encoding)."""
+        return self.encode_time(nbytes)
+
+    def memcpy_time(self, nbytes: int) -> float:
+        """Seconds for a host-memory buffer copy."""
+        return nbytes / gbps(self.memcpy_gbps)
+
+
+# ---------------------------------------------------------------------------
+# Flow-level simulation
+# ---------------------------------------------------------------------------
+@dataclass
+class Link:
+    """A capacity-constrained resource flows traverse."""
+
+    name: str
+    capacity: float  # bytes/second
+    flows: set["Flow"] = field(default_factory=set)
+
+
+class Flow:
+    """One fluid transfer across a set of links."""
+
+    __slots__ = (
+        "links", "remaining", "nbytes", "rate", "start_time",
+        "finish_time", "on_complete", "_completion",
+    )
+
+    def __init__(self, links: list[Link], nbytes: float, start_time: float, on_complete=None):
+        self.links = links
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.start_time = start_time
+        self.finish_time: float | None = None
+        self.on_complete = on_complete
+        self._completion: EventHandle | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed transfer time (only valid once the flow finished)."""
+        if self.finish_time is None:
+            raise SimulationError("flow has not finished")
+        return self.finish_time - self.start_time
+
+
+class Network:
+    """Links plus max-min fair rate allocation, driven by a Simulator."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.links: dict[str, Link] = {}
+        self._active: set[Flow] = set()
+        self._last_update = 0.0
+
+    def add_link(self, name: str, capacity_bytes_per_s: float) -> Link:
+        """Register a link; capacities must be positive."""
+        if capacity_bytes_per_s <= 0:
+            raise SimulationError(f"link {name!r} needs positive capacity")
+        if name in self.links:
+            raise SimulationError(f"duplicate link {name!r}")
+        link = Link(name=name, capacity=capacity_bytes_per_s)
+        self.links[name] = link
+        return link
+
+    def start_flow(
+        self, link_names: list[str], nbytes: float, on_complete=None
+    ) -> Flow:
+        """Begin a transfer over the named links (in-order route).
+
+        Zero-byte flows complete immediately.
+        """
+        try:
+            links = [self.links[name] for name in link_names]
+        except KeyError as exc:
+            raise SimulationError(f"unknown link {exc.args[0]!r}") from None
+        if not links:
+            raise SimulationError("a flow needs at least one link")
+        flow = Flow(links, nbytes, self.sim.now, on_complete)
+        if nbytes <= 0:
+            flow.finish_time = self.sim.now
+            if on_complete:
+                on_complete(flow)
+            return flow
+        self._advance_to_now()
+        self._active.add(flow)
+        for link in links:
+            link.flows.add(flow)
+        self._reallocate()
+        return flow
+
+    # ------------------------------------------------------------------
+    def _advance_to_now(self) -> None:
+        """Drain bytes transferred since the last rate change."""
+        dt = self.sim.now - self._last_update
+        if dt > 0:
+            for flow in self._active:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_update = self.sim.now
+
+    def _reallocate(self) -> None:
+        """Progressive filling: recompute max-min fair rates, reschedule."""
+        unfrozen = set(self._active)
+        residual = {link.name: link.capacity for link in self.links.values()}
+        for flow in self._active:
+            if flow._completion is not None:
+                flow._completion.cancel()
+                flow._completion = None
+            flow.rate = 0.0
+        while unfrozen:
+            # The bottleneck link is the one offering the smallest fair share.
+            best_share = None
+            bottleneck_flows: set[Flow] = set()
+            for link in self.links.values():
+                live = {f for f in link.flows if f in unfrozen}
+                if not live:
+                    continue
+                share = residual[link.name] / len(live)
+                if best_share is None or share < best_share:
+                    best_share = share
+                    bottleneck_flows = live
+            if best_share is None:
+                break
+            for flow in bottleneck_flows:
+                flow.rate = best_share
+                for link in flow.links:
+                    residual[link.name] = max(
+                        0.0, residual[link.name] - best_share
+                    )
+                unfrozen.discard(flow)
+        # Schedule each flow's completion at its new rate.
+        for flow in self._active:
+            if flow.rate <= 0:
+                raise SimulationError(
+                    f"flow over {[l.name for l in flow.links]} starved"
+                )
+            delay = flow.remaining / flow.rate
+            flow._completion = self.sim.schedule(
+                delay, lambda f=flow: self._complete(f)
+            )
+
+    def _complete(self, flow: Flow) -> None:
+        self._advance_to_now()
+        flow.remaining = 0.0
+        flow.finish_time = self.sim.now
+        self._active.discard(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+        if self._active:
+            self._reallocate()
+        if flow.on_complete:
+            flow.on_complete(flow)
+
+
+# ---------------------------------------------------------------------------
+# Cluster-shaped convenience wrapper
+# ---------------------------------------------------------------------------
+REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One checkpoint transfer: node to node, node to/from remote storage.
+
+    ``src``/``dst`` are node indices, or :data:`REMOTE` for the persistent
+    store.  ``start_delay`` lets callers stagger flows (e.g. after a
+    serialization phase of known length).
+    """
+
+    src: int | str
+    dst: int | str
+    nbytes: float
+    start_delay: float = 0.0
+
+
+class ClusterNetwork:
+    """The testbed's network: per-node duplex NICs plus a shared remote pipe.
+
+    Intra-node transfers ride the node's NVLink; inter-node transfers use
+    the source's TX and destination's RX NIC links; remote transfers are
+    additionally squeezed through the storage's aggregate link.
+    """
+
+    def __init__(self, num_nodes: int, time_model: TimeModel | None = None):
+        if num_nodes < 1:
+            raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.time_model = time_model or TimeModel()
+
+    def _build(self, sim: Simulator) -> Network:
+        tm = self.time_model
+        net = Network(sim)
+        for node in range(self.num_nodes):
+            net.add_link(f"node{node}.tx", gbps(tm.inter_node_gbps))
+            net.add_link(f"node{node}.rx", gbps(tm.inter_node_gbps))
+            net.add_link(f"node{node}.nvlink", gbps(tm.nvlink_gbps))
+        net.add_link("remote.rx", gbps(tm.remote_storage_gbps))
+        net.add_link("remote.tx", gbps(tm.remote_storage_gbps))
+        return net
+
+    def route(self, src: int | str, dst: int | str) -> list[str]:
+        """Link names a transfer traverses.
+
+        Raises:
+            SimulationError: for out-of-range nodes or a remote-to-remote
+                route.
+        """
+        if src == REMOTE and dst == REMOTE:
+            raise SimulationError("remote-to-remote transfers are meaningless")
+        if src == REMOTE:
+            self._check_node(dst)
+            return ["remote.tx", f"node{dst}.rx"]
+        if dst == REMOTE:
+            self._check_node(src)
+            return [f"node{src}.tx", "remote.rx"]
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return [f"node{src}.nvlink"]
+        return [f"node{src}.tx", f"node{dst}.rx"]
+
+    def _check_node(self, node: int | str) -> None:
+        if not isinstance(node, int) or not 0 <= node < self.num_nodes:
+            raise SimulationError(f"bad node {node!r}")
+
+    def simulate(self, requests: list[TransferRequest]) -> "TransferResult":
+        """Run all transfers to completion and report timings."""
+        sim = Simulator()
+        net = self._build(sim)
+        flows: list[Flow] = []
+
+        def launch(request: TransferRequest) -> None:
+            flows.append(
+                net.start_flow(self.route(request.src, request.dst), request.nbytes)
+            )
+
+        for request in requests:
+            sim.schedule(request.start_delay, lambda r=request: launch(r))
+        sim.run()
+        makespan = max((f.finish_time for f in flows), default=0.0)
+        return TransferResult(
+            makespan=makespan,
+            flow_finish_times=[f.finish_time for f in flows],
+            total_bytes=sum(f.nbytes for f in flows),
+        )
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of a simulated transfer phase."""
+
+    makespan: float
+    flow_finish_times: list[float]
+    total_bytes: float

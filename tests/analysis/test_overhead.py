@@ -1,0 +1,80 @@
+"""Tests for Sec. V-F communication-volume accounting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis.overhead import (
+    communication_volume,
+    per_device_comm_bytes,
+)
+
+
+def test_total_is_m_s_w_identity():
+    """XOR + P2P data + P2P parity == m * s * W for many shapes."""
+    s = 1_000_000
+    for n, g, k in [(4, 4, 2), (4, 1, 2), (8, 4, 4), (6, 2, 3), (4, 4, 1), (8, 2, 6)]:
+        m = n - k
+        world = n * g
+        if world % k:
+            continue
+        vol = communication_volume(n, g, k, m, s)
+        assert vol.total == m * s * world, (n, g, k)
+
+
+def test_per_device_volume_constant_in_cluster_size():
+    """The Fig. 14 scalability argument: per-device bytes == m * s."""
+    s = 500_000
+    for n in (4, 8, 16, 32):
+        k = m = n // 2
+        g = 4
+        if (n * g) % k:
+            continue
+        vol = communication_volume(n, g, k, m, s)
+        assert vol.total / (n * g) == per_device_comm_bytes(m, s) / 1
+
+
+def test_individual_terms_match_paper_formulas():
+    n, g, k, s = 4, 4, 2, 1000
+    m = n - k
+    world = n * g
+    vol = communication_volume(n, g, k, m, s)
+    assert vol.xor_reduction == (world // k) * m * (k - 1) * s
+    assert vol.p2p_data == (world - k * g) * s
+    assert vol.p2p_parity == ((world // k) - g) * m * s
+
+
+def test_matches_real_engine_traffic():
+    """The closed form equals the bytes the real engine actually moves."""
+    from repro.checkpoint.job import TrainingJob
+    from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+    from repro.parallel.strategy import ParallelismSpec
+    from repro.parallel.topology import ClusterSpec
+
+    job = TrainingJob.create(
+        "gpt2-h1024-L16", ClusterSpec(4, 4),
+        ParallelismSpec(tensor_parallel=4, pipeline_parallel=4), scale=5e-4,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    report = engine.save()
+    s = engine.logical_packet_bytes()
+    expected = communication_volume(4, 4, 2, 2, s).total
+    assert report.bytes_inter_node == expected
+
+
+def test_zero_parity_moves_nothing_extra():
+    vol = communication_volume(4, 4, 4, 0, 1000)
+    assert vol.xor_reduction == 0
+    assert vol.p2p_parity == 0
+    assert vol.p2p_data == 0  # every node is its own data node
+    assert per_device_comm_bytes(0, 1000) == 0
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        communication_volume(4, 4, 3, 2, 100)  # k + m != n
+    with pytest.raises(ReproError):
+        communication_volume(4, 1, 3, 1, 100)  # k does not divide W
+    with pytest.raises(ReproError):
+        communication_volume(4, 4, 2, 2, -1)
+    with pytest.raises(ReproError):
+        per_device_comm_bytes(-1, 10)

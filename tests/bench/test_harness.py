@@ -1,0 +1,75 @@
+"""Tests for the benchmark harness (table rendering, job factories)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.bench.harness import ExperimentTable, all_engines, make_testbed_job
+
+
+# ---------------------------------------------------------------------------
+# ExperimentTable
+# ---------------------------------------------------------------------------
+def test_table_add_and_column():
+    table = ExperimentTable("T", ["a", "b"])
+    table.add_row(a=1, b=2.5)
+    table.add_row(a=3, b=0.25)
+    assert table.column("a") == [1, 3]
+    assert table.column("b") == [2.5, 0.25]
+
+
+def test_table_rejects_missing_columns():
+    table = ExperimentTable("T", ["a", "b"])
+    with pytest.raises(ReproError):
+        table.add_row(a=1)
+    with pytest.raises(ReproError):
+        table.column("zzz")
+
+
+def test_table_ignores_extra_values_order():
+    table = ExperimentTable("T", ["a", "b"])
+    table.add_row(b=2, a=1)  # keyword order must not matter
+    assert table.rows[0] == {"a": 1, "b": 2}
+
+
+def test_render_contains_title_header_and_rows():
+    table = ExperimentTable("My Title", ["model", "time"])
+    table.add_row(model="gpt2", time=1.2345)
+    text = table.render()
+    assert "My Title" in text
+    assert "model" in text and "time" in text
+    assert "gpt2" in text and "1.234" in text
+
+
+def test_render_empty_table():
+    table = ExperimentTable("Empty", ["x"])
+    text = table.render()
+    assert "Empty" in text and "x" in text
+
+
+def test_float_formatting_ranges():
+    fmt = ExperimentTable._format
+    assert fmt(0.0) == "0"
+    assert fmt(1234.5) == "1.234e+03"  # large -> scientific
+    assert fmt(0.0001) == "1.000e-04"  # tiny -> scientific
+    assert fmt(3.14159) == "3.142"
+    assert fmt("text") == "text"
+    assert fmt(7) == "7"
+
+
+# ---------------------------------------------------------------------------
+# Job factory / engine set
+# ---------------------------------------------------------------------------
+def test_make_testbed_job_defaults_match_paper():
+    job = make_testbed_job(model="gpt2-h1024-L16")
+    assert job.cluster.num_nodes == 4
+    assert job.cluster.gpus_per_node == 4
+    assert job.strategy.tensor_parallel == 4
+    assert job.strategy.pipeline_parallel == 4
+
+
+def test_all_engines_has_paper_lineup():
+    job = make_testbed_job(model="gpt2-h1024-L16")
+    engines = all_engines(job)
+    assert set(engines) == {"base1", "base2", "base3", "eccheck"}
+    assert engines["eccheck"].config.k == 2
+    assert engines["eccheck"].config.m == 2

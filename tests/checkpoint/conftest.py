@@ -1,0 +1,34 @@
+"""Shared fixtures: a small but structurally faithful training job.
+
+The paper's testbed shape (4 nodes x 4 GPUs, TP=4, PP=4) at a tiny tensor
+materialisation scale, so engines move real bytes quickly.
+"""
+
+import pytest
+
+from repro.checkpoint.job import TrainingJob
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+
+
+@pytest.fixture
+def testbed_job():
+    return TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=4),
+        strategy=ParallelismSpec(tensor_parallel=4, pipeline_parallel=4),
+        scale=2e-3,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_job():
+    """2 nodes x 2 GPUs — smallest cluster the baselines accept."""
+    return TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=2, gpus_per_node=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=2),
+        scale=2e-3,
+        seed=3,
+    )

@@ -1,0 +1,148 @@
+"""Edge-case coverage for the baseline engines.
+
+These paths are easy to miss: data-parallel replica restoration, larger
+replication groups, repeated save/restore cycles, and byte accounting.
+"""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.replication import GeminiReplicationEngine
+from repro.checkpoint.sync_remote import SyncRemoteEngine
+from repro.checkpoint.two_phase import TwoPhaseEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.tensors.state_dict import state_dicts_equal
+
+
+def verify(job, reference):
+    for worker, expected in reference.items():
+        assert state_dicts_equal(job.state_of(worker), expected), worker
+
+
+# ---------------------------------------------------------------------------
+# Data-parallel replicas
+# ---------------------------------------------------------------------------
+def make_dp_job():
+    return TrainingJob.create(
+        "gpt2-h1024-L16",
+        ClusterSpec(4, 2),
+        ParallelismSpec(tensor_parallel=2, pipeline_parallel=2, data_parallel=2),
+        scale=1e-3,
+        seed=61,
+    )
+
+
+def test_base1_restores_dp_replicas_from_writer_shards():
+    """Only dp_rank 0 writes, but every replica must come back."""
+    job = make_dp_job()
+    assert job.writers == [0, 1, 2, 3]
+    engine = SyncRemoteEngine(job)
+    engine.save()
+    # Writers' states are the canonical copies the replicas must match.
+    writer_reference = {w: s for w, s in job.snapshot_states().items() if w < 4}
+    job.fail_nodes({0, 1, 2, 3})
+    engine.restore({0, 1, 2, 3})
+    for writer, expected in writer_reference.items():
+        assert state_dicts_equal(job.state_of(writer), expected)
+        for replica in job.strategy.dp_group(writer):
+            assert state_dicts_equal(job.state_of(replica), expected), replica
+
+
+def test_dp_replica_restores_are_independent_copies():
+    job = make_dp_job()
+    engine = SyncRemoteEngine(job)
+    engine.save()
+    job.fail_nodes({0, 1, 2, 3})
+    engine.restore({0, 1, 2, 3})
+    writer_state = job.state_of(0)
+    replica = job.strategy.dp_group(0)[1]
+    replica_state = job.state_of(replica)
+    next(iter(writer_state["model"].values())).data[...] = 0
+    assert not state_dicts_equal(writer_state, replica_state)
+
+
+# ---------------------------------------------------------------------------
+# base3 with larger groups
+# ---------------------------------------------------------------------------
+def make_wide_job(num_nodes=8):
+    return TrainingJob.create(
+        "gpt2-h1024-L16",
+        ClusterSpec(num_nodes, 1),
+        ParallelismSpec(pipeline_parallel=num_nodes),
+        scale=1e-3,
+        seed=67,
+    )
+
+
+def test_base3_group_of_four_survives_three_failures():
+    job = make_wide_job()
+    engine = GeminiReplicationEngine(job, group_size=4)
+    engine.save()
+    reference = job.snapshot_states()
+    job.advance()
+    job.fail_nodes({0, 1, 2})  # one survivor (node 3) holds all replicas
+    engine.restore({0, 1, 2})
+    verify(job, reference)
+
+
+def test_base3_group_of_four_dies_with_whole_group():
+    job = make_wide_job()
+    engine = GeminiReplicationEngine(job, group_size=4)
+    engine.save()
+    job.fail_nodes({0, 1, 2, 3})
+    with pytest.raises(RecoveryError):
+        engine.restore({0, 1, 2, 3})
+
+
+def test_base3_memory_cost_scales_with_group_size():
+    """Each node stores G x its own bytes — the replication overhead the
+    paper contrasts with erasure coding."""
+    small = make_wide_job()
+    big = make_wide_job()
+    GeminiReplicationEngine(small, group_size=2).save()
+    GeminiReplicationEngine(big, group_size=4).save()
+    # Rebuild engines to inspect host stores.
+    e2 = GeminiReplicationEngine(make_wide_job(), group_size=2)
+    e4 = GeminiReplicationEngine(make_wide_job(), group_size=4)
+    e2.save()
+    e4.save()
+    # Not exactly 2x: node 0's own (embedding-heavy) shard dominates both.
+    assert e4.host.node_bytes(0) > 1.3 * e2.host.node_bytes(0)
+
+
+# ---------------------------------------------------------------------------
+# Repeated cycles / accounting
+# ---------------------------------------------------------------------------
+def test_base2_repeated_save_restore_cycles():
+    job = make_wide_job()
+    engine = TwoPhaseEngine(job)
+    for _ in range(3):
+        job.advance()
+        engine.save()
+        reference = job.snapshot_states()
+        job.advance()
+        job.fail_nodes({5})
+        engine.restore({5})
+        verify(job, reference)
+
+
+def test_save_reports_account_every_writer_byte():
+    job = make_wide_job()
+    for engine in (SyncRemoteEngine(job), TwoPhaseEngine(job)):
+        report = engine.save()
+        assert report.bytes_to_remote == job.total_logical_bytes()
+    report = GeminiReplicationEngine(job, group_size=2).save()
+    assert report.bytes_dtoh == job.total_logical_bytes()
+    assert report.bytes_inter_node == job.total_logical_bytes()  # G-1 = 1 copy
+
+
+def test_advance_dirty_fraction_validation():
+    job = make_wide_job()
+    from repro.errors import CheckpointError
+
+    with pytest.raises(CheckpointError):
+        job.advance(dirty_tensor_fraction=0.0)
+    with pytest.raises(CheckpointError):
+        job.advance(dirty_tensor_fraction=1.5)

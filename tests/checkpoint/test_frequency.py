@@ -1,0 +1,125 @@
+"""Tests for checkpoint frequency policies."""
+
+import math
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.checkpoint.frequency import (
+    AdaptiveFrequencyTuner,
+    overhead_bounded_interval,
+    young_daly_interval,
+)
+
+
+# ---------------------------------------------------------------------------
+# Young/Daly
+# ---------------------------------------------------------------------------
+def test_young_daly_formula():
+    assert young_daly_interval(2.0, 10000.0) == pytest.approx(math.sqrt(40000.0))
+
+
+def test_young_daly_monotonic_in_both_inputs():
+    assert young_daly_interval(1.0, 1000.0) < young_daly_interval(4.0, 1000.0)
+    assert young_daly_interval(1.0, 1000.0) < young_daly_interval(1.0, 4000.0)
+
+
+def test_young_daly_validation():
+    with pytest.raises(CheckpointError):
+        young_daly_interval(0.0, 100.0)
+    with pytest.raises(CheckpointError):
+        young_daly_interval(1.0, 0.0)
+
+
+def test_cheap_checkpoints_permit_shorter_intervals():
+    """The quantitative version of ECCheck's frequency claim: with the
+    measured stall of ECCheck vs base1, Young/Daly picks a far shorter
+    period."""
+    mtbf_s = 3 * 3600.0
+    base1_cost, eccheck_cost = 154.0, 0.4  # measured stalls (Fig. 10 data)
+    assert young_daly_interval(eccheck_cost, mtbf_s) < (
+        young_daly_interval(base1_cost, mtbf_s) / 10
+    )
+
+
+# ---------------------------------------------------------------------------
+# Overhead-bounded interval (CheckFreq rule)
+# ---------------------------------------------------------------------------
+def test_overhead_bounded_by_stall():
+    # stall 0.35s, iteration 10s, budget 3.5% -> exactly 1 iteration.
+    assert overhead_bounded_interval(0.35, 0.35, 10.0) == 1
+    # stall 7s: needs 7 / 0.35 = 20 iterations.
+    assert overhead_bounded_interval(7.0, 7.0, 10.0) == 20
+
+
+def test_overhead_bounded_by_pipeline_backpressure():
+    # Tiny stall but a 100 s persist on 10 s iterations: interval >= 10.
+    assert overhead_bounded_interval(0.1, 100.0, 10.0) == 10
+
+
+def test_overhead_bounded_minimum_one():
+    assert overhead_bounded_interval(0.0, 0.0, 1.0) == 1
+
+
+def test_overhead_bounded_validation():
+    with pytest.raises(CheckpointError):
+        overhead_bounded_interval(1.0, 1.0, 0.0)
+    with pytest.raises(CheckpointError):
+        overhead_bounded_interval(1.0, 1.0, 1.0, overhead_budget=0.0)
+    with pytest.raises(CheckpointError):
+        overhead_bounded_interval(-1.0, 1.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Adaptive tuner
+# ---------------------------------------------------------------------------
+def test_tuner_backs_off_when_over_budget():
+    tuner = AdaptiveFrequencyTuner(interval=10, overhead_budget=0.035)
+    new = tuner.observe(0.07)  # 2x over budget
+    assert new == 20
+
+
+def test_tuner_tightens_with_headroom():
+    tuner = AdaptiveFrequencyTuner(interval=100, overhead_budget=0.035)
+    new = tuner.observe(0.001)
+    assert new < 100
+
+
+def test_tuner_holds_inside_band():
+    tuner = AdaptiveFrequencyTuner(interval=50, overhead_budget=0.035)
+    assert tuner.observe(0.03) == 50  # within [headroom*budget, budget]
+
+
+def test_tuner_converges_under_stable_overhead_model():
+    """With overhead = stall / (interval * iteration), the tuner settles
+    near the interval whose overhead matches the budget."""
+    stall, iteration, budget = 0.7, 10.0, 0.035
+    tuner = AdaptiveFrequencyTuner(interval=100, overhead_budget=budget)
+    for _ in range(60):
+        observed = stall / (tuner.interval * iteration)
+        tuner.observe(observed)
+    steady = stall / (budget * iteration)  # = 2.0
+    assert tuner.interval <= 2 * steady + 1
+
+
+def test_tuner_respects_clamps():
+    tuner = AdaptiveFrequencyTuner(
+        interval=4, overhead_budget=0.035, min_interval=3, max_interval=6
+    )
+    assert tuner.observe(1.0) == 6
+    assert tuner.observe(0.0) == 5
+    for _ in range(10):
+        tuner.observe(0.0)
+    assert tuner.interval == 3
+
+
+def test_tuner_validation():
+    with pytest.raises(CheckpointError):
+        AdaptiveFrequencyTuner(interval=0)
+    with pytest.raises(CheckpointError):
+        AdaptiveFrequencyTuner(interval=1, overhead_budget=1.5)
+    with pytest.raises(CheckpointError):
+        AdaptiveFrequencyTuner(interval=1, min_interval=5, max_interval=2)
+    tuner = AdaptiveFrequencyTuner(interval=5)
+    with pytest.raises(CheckpointError):
+        tuner.observe(-0.1)

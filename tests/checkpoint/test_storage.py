@@ -1,0 +1,77 @@
+"""Tests for host-memory and remote storage substrates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.checkpoint.storage import HostMemoryStore, RemoteStorage
+
+
+def test_host_put_get_round_trip():
+    store = HostMemoryStore(2)
+    store.put(0, "k", b"value")
+    assert store.get(0, "k") == b"value"
+    assert store.contains(0, "k")
+    assert not store.contains(1, "k")
+
+
+def test_host_missing_key_raises():
+    store = HostMemoryStore(1)
+    with pytest.raises(CheckpointError):
+        store.get(0, "missing")
+
+
+def test_host_wipe_models_node_failure():
+    store = HostMemoryStore(2)
+    store.put(0, "a", b"x")
+    store.put(1, "b", b"y")
+    store.wipe(0)
+    assert not store.contains(0, "a")
+    assert store.contains(1, "b")  # other nodes unaffected
+
+
+def test_host_delete_is_idempotent():
+    store = HostMemoryStore(1)
+    store.put(0, "a", 1)
+    store.delete(0, "a")
+    store.delete(0, "a")
+    assert store.keys(0) == []
+
+
+def test_host_node_bytes_accounts_arrays_and_bytes():
+    store = HostMemoryStore(1)
+    store.put(0, "arr", np.zeros(10, dtype=np.uint8))
+    store.put(0, "blob", b"12345")
+    store.put(0, "nested", {"x": np.zeros(3, dtype=np.uint8), "y": [b"12"]})
+    store.put(0, "scalar", 42)
+    assert store.node_bytes(0) == 10 + 5 + 3 + 2
+
+
+def test_host_bounds_checking():
+    with pytest.raises(CheckpointError):
+        HostMemoryStore(0)
+    store = HostMemoryStore(1)
+    with pytest.raises(CheckpointError):
+        store.put(1, "k", 1)
+
+
+def test_remote_round_trip_and_durability():
+    remote = RemoteStorage()
+    remote.put("v1", b"abc")
+    assert remote.get("v1") == b"abc"
+    assert remote.contains("v1")
+    assert remote.total_bytes == 3
+    assert remote.keys() == ["v1"]
+
+
+def test_remote_missing_key_raises():
+    with pytest.raises(CheckpointError):
+        RemoteStorage().get("nope")
+
+
+def test_remote_copies_input():
+    remote = RemoteStorage()
+    data = bytearray(b"abc")
+    remote.put("k", data)
+    data[0] = ord("z")
+    assert remote.get("k") == b"abc"

@@ -1,0 +1,194 @@
+"""Tests for group-based ECCheck and the optimal-group-size planner."""
+
+import pytest
+
+from repro.errors import CheckpointError, RecoveryError, ReproError
+from repro.checkpoint.job import TrainingJob
+from repro.core.grouped import (
+    GroupedECCheckEngine,
+    NodeGroupView,
+    plan_grouping,
+)
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.tensors.state_dict import state_dicts_equal
+
+
+def make_job(num_nodes=8, gpus=2, scale=1e-3, seed=5):
+    return TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=num_nodes, gpus_per_node=gpus),
+        strategy=ParallelismSpec(tensor_parallel=gpus, pipeline_parallel=num_nodes),
+        scale=scale,
+        seed=seed,
+    )
+
+
+def verify_full_restore(job, reference):
+    for worker, expected in reference.items():
+        assert state_dicts_equal(job.state_of(worker), expected), worker
+
+
+# ---------------------------------------------------------------------------
+# NodeGroupView
+# ---------------------------------------------------------------------------
+def test_view_renumbers_nodes_and_workers():
+    job = make_job()
+    view = NodeGroupView(job, [4, 5, 6, 7])
+    assert view.cluster.num_nodes == 4
+    assert view.world_size == 8
+    assert view.to_global_worker(0) == 8
+    assert view.state_of(0) is job.state_of(8)
+    assert view.logical_shard_bytes(3) == job.logical_shard_bytes(11)
+
+
+def test_view_writes_through_to_parent():
+    job = make_job()
+    view = NodeGroupView(job, [0, 1, 2, 3])
+    marker = {"iteration": 99}
+    view.state_dicts[2] = marker
+    assert job.state_dicts[2] is marker
+
+
+def test_view_accepts_noncontiguous_nodes():
+    job = make_job()
+    view = NodeGroupView(job, [0, 2])  # rack-transversal groups need this
+    assert view.to_global_worker(2) == 4  # node 2's first worker (g=2)
+
+
+def test_view_rejects_invalid_groups():
+    job = make_job()
+    with pytest.raises(CheckpointError):
+        NodeGroupView(job, [])
+    with pytest.raises(CheckpointError):
+        NodeGroupView(job, [0, 0])
+    with pytest.raises(CheckpointError):
+        NodeGroupView(job, [0, 99])
+
+
+# ---------------------------------------------------------------------------
+# GroupedECCheckEngine
+# ---------------------------------------------------------------------------
+def test_grouped_engine_structure():
+    job = make_job(num_nodes=8)
+    engine = GroupedECCheckEngine(job, group_size=4, k=2)
+    assert len(engine.engines) == 2
+    assert engine.groups == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    assert engine.group_of_node(5) == 1
+
+
+def test_grouped_engine_validation():
+    job = make_job(num_nodes=8)
+    with pytest.raises(CheckpointError):
+        GroupedECCheckEngine(job, group_size=3, k=2)
+    with pytest.raises(CheckpointError):
+        GroupedECCheckEngine(job, group_size=4, k=4)
+    with pytest.raises(CheckpointError):
+        GroupedECCheckEngine(job, group_size=4, k=0)
+
+
+def test_grouped_round_trip_failures_in_both_groups():
+    """Failures within each group's parity budget recover bit-exactly —
+    even four concurrent failures on an 8-node cluster."""
+    job = make_job(num_nodes=8)
+    engine = GroupedECCheckEngine(job, group_size=4, k=2)
+    engine.save()
+    reference = job.snapshot_states()
+    job.advance()
+    failed = {0, 1, 5, 6}  # two per group = each group's m
+    job.fail_nodes(failed)
+    report = engine.restore(failed)
+    verify_full_restore(job, reference)
+    assert report.recovery_time > 0
+
+
+def test_grouped_rejects_budget_exceeded_in_one_group():
+    job = make_job(num_nodes=8)
+    engine = GroupedECCheckEngine(job, group_size=4, k=2)
+    engine.save()
+    job.fail_nodes({0, 1, 2})  # three failures in group 0 (m=2)
+    with pytest.raises(RecoveryError):
+        engine.restore({0, 1, 2})
+
+
+def test_grouped_restore_with_no_failures_is_noop():
+    job = make_job(num_nodes=8)
+    engine = GroupedECCheckEngine(job, group_size=4, k=2)
+    engine.save()
+    report = engine.restore(set())
+    assert report.recovery_time == 0.0
+
+
+def test_grouped_save_time_independent_of_group_count():
+    """Groups checkpoint concurrently: 8 nodes in 2 groups should take
+    about as long as a single 4-node group (same per-group work)."""
+    small = make_job(num_nodes=4)
+    big = make_job(num_nodes=8)
+    t_small = GroupedECCheckEngine(small, group_size=4, k=2).save().checkpoint_time
+    t_big = GroupedECCheckEngine(big, group_size=4, k=2).save().checkpoint_time
+    assert t_big == pytest.approx(t_small, rel=0.35)
+
+
+def test_grouped_comm_volume_per_device_is_m_shards():
+    """Within every group, per-device traffic equals m packet-sizes —
+    independent of how many groups the cluster has (the grouping's whole
+    point).  Packets pad only within a group, so groups have their own
+    packet sizes."""
+    for nodes in (4, 8):
+        job = make_job(num_nodes=nodes)
+        engine = GroupedECCheckEngine(job, group_size=4, k=2)
+        report = engine.save()
+        workers_per_group = 4 * job.cluster.gpus_per_node
+        expected = sum(
+            engine.m * inner.logical_packet_bytes() * workers_per_group
+            for inner in engine.engines
+        )
+        assert report.bytes_inter_node == pytest.approx(expected, rel=0.01), nodes
+
+
+# ---------------------------------------------------------------------------
+# plan_grouping
+# ---------------------------------------------------------------------------
+def test_plan_meets_target_rate():
+    plan = plan_grouping(num_nodes=32, p=0.05, target_rate=0.999)
+    assert plan.cluster_recovery_rate >= 0.999
+    assert plan.group_size * plan.num_groups == 32
+    assert plan.k + plan.m == plan.group_size
+
+
+def test_plan_prefers_cheapest_parity():
+    """A loose target should be met with m=1 somewhere."""
+    plan = plan_grouping(num_nodes=16, p=0.001, target_rate=0.99)
+    assert plan.per_device_comm_units == 1
+
+
+def test_plan_spends_more_parity_when_needed():
+    cheap = plan_grouping(num_nodes=16, p=0.01, target_rate=0.9)
+    strict = plan_grouping(num_nodes=16, p=0.1, target_rate=0.9999)
+    assert strict.per_device_comm_units > cheap.per_device_comm_units
+
+
+def test_plan_unreachable_target_raises():
+    with pytest.raises(ReproError):
+        plan_grouping(num_nodes=4, p=0.9, target_rate=0.999999)
+    with pytest.raises(ReproError):
+        plan_grouping(num_nodes=4, p=0.1, target_rate=0.0)
+
+
+def test_plan_rejects_bad_group_size():
+    with pytest.raises(ReproError):
+        plan_grouping(num_nodes=8, p=0.05, target_rate=0.9, group_sizes=(3,))
+
+
+def test_planned_grouping_actually_recovers():
+    """The planner's output drives a real engine round trip."""
+    plan = plan_grouping(num_nodes=8, p=0.05, target_rate=0.99)
+    job = make_job(num_nodes=8)
+    engine = GroupedECCheckEngine(job, group_size=plan.group_size, k=plan.k)
+    engine.save()
+    reference = job.snapshot_states()
+    # Fail exactly m nodes in the first group.
+    failed = set(range(plan.m))
+    job.fail_nodes(failed)
+    engine.restore(failed)
+    verify_full_restore(job, reference)

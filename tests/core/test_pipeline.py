@@ -1,0 +1,131 @@
+"""Tests for pipelined execution (analytic makespan + real thread pipeline)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.core.pipeline import (
+    PipelinedRunner,
+    pipeline_makespan,
+    serial_makespan,
+)
+
+
+# ---------------------------------------------------------------------------
+# Analytic makespan
+# ---------------------------------------------------------------------------
+def test_single_buffer_pipeline_is_sum_of_stages():
+    assert pipeline_makespan([1.0, 2.0, 3.0], buffers=1) == 6.0
+
+
+def test_many_buffers_bound_by_slowest_stage():
+    # 10 buffers, slowest stage 2.0: 1+2+3 + 9*3 = 33.
+    assert pipeline_makespan([1.0, 2.0, 3.0], buffers=10) == 33.0
+
+
+def test_pipeline_beats_serial_for_multiple_buffers():
+    stages = [1.0, 1.5, 0.5]
+    for buffers in (2, 8, 64):
+        assert pipeline_makespan(stages, buffers) < serial_makespan(stages, buffers)
+
+
+def test_pipeline_equals_serial_for_one_buffer():
+    stages = [1.0, 2.0]
+    assert pipeline_makespan(stages, 1) == serial_makespan(stages, 1)
+
+
+def test_pipeline_asymptotic_speedup():
+    """With B -> inf the speedup approaches sum(stages)/max(stages)."""
+    stages = [1.0, 1.0, 1.0]
+    buffers = 10_000
+    speedup = serial_makespan(stages, buffers) / pipeline_makespan(stages, buffers)
+    assert speedup == pytest.approx(3.0, rel=0.01)
+
+
+def test_makespan_validation():
+    with pytest.raises(CheckpointError):
+        pipeline_makespan([], 1)
+    with pytest.raises(CheckpointError):
+        pipeline_makespan([1.0], 0)
+    with pytest.raises(CheckpointError):
+        pipeline_makespan([-1.0], 1)
+    with pytest.raises(CheckpointError):
+        serial_makespan([1.0], 0)
+
+
+# ---------------------------------------------------------------------------
+# Real thread pipeline
+# ---------------------------------------------------------------------------
+def test_runner_preserves_order_and_applies_stages():
+    runner = PipelinedRunner(
+        encode=lambda x: x + 1,
+        reduce=lambda x: x * 2,
+        transfer=lambda x: x - 1,
+    )
+    assert runner.run([0, 1, 2, 3]) == [1, 3, 5, 7]
+    assert runner.stats.encoded == 4
+    assert runner.stats.reduced == 4
+    assert runner.stats.transferred == 4
+
+
+def test_runner_empty_input():
+    runner = PipelinedRunner(lambda x: x, lambda x: x, lambda x: x)
+    assert runner.run([]) == []
+
+
+def test_runner_stages_overlap_in_time():
+    """While item i is in stage 2, stage 1 must be processing item i+1."""
+    concurrent_flag = {"overlapped": False}
+    in_stage1 = threading.Event()
+    in_stage2 = threading.Event()
+
+    def encode(x):
+        in_stage1.set()
+        if in_stage2.is_set():
+            concurrent_flag["overlapped"] = True
+        time.sleep(0.01)
+        return x
+
+    def reduce(x):
+        in_stage2.set()
+        time.sleep(0.01)
+        return x
+
+    runner = PipelinedRunner(encode, reduce, lambda x: x, queue_depth=2)
+    runner.run(list(range(8)))
+    assert concurrent_flag["overlapped"]
+
+
+def test_runner_propagates_stage_errors():
+    def explode(x):
+        raise ValueError("boom")
+
+    runner = PipelinedRunner(lambda x: x, explode, lambda x: x)
+    with pytest.raises(ValueError, match="boom"):
+        runner.run([1, 2])
+
+
+def test_runner_validates_queue_depth():
+    with pytest.raises(CheckpointError):
+        PipelinedRunner(lambda x: x, lambda x: x, lambda x: x, queue_depth=0)
+
+
+def test_runner_with_numpy_xor_workload():
+    """A realistic mini-encode pipeline: multiply, xor, collect."""
+    import numpy as np
+
+    from repro.gf.field import GF
+
+    f = GF(8)
+    buffers = [np.full(1024, i + 1, dtype=np.uint8) for i in range(6)]
+    runner = PipelinedRunner(
+        encode=lambda buf: f.mul_region(7, buf),
+        reduce=lambda buf: buf ^ 0xFF,
+        transfer=lambda buf: buf.copy(),
+    )
+    out = runner.run(buffers)
+    for i, result in enumerate(out):
+        expected = f.mul_region(7, buffers[i]) ^ 0xFF
+        assert np.array_equal(result, expected)

@@ -1,0 +1,113 @@
+"""Tests for torn (partially written) checkpoint handling.
+
+A crash can interrupt a save after some chunks landed and others did not;
+a restart must fall back to the newest *complete* version rather than try
+to decode an inconsistent one.
+"""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.checkpoint.job import TrainingJob
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.tensors.state_dict import state_dicts_equal
+
+
+def make_engine(seed=51):
+    job = TrainingJob.create(
+        "gpt2-h1024-L16",
+        ClusterSpec(4, 2),
+        ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=1e-3,
+        seed=seed,
+    )
+    return job, ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+
+
+def tear_version(engine, version, keep_chunks=1):
+    """Delete all but ``keep_chunks`` chunks of a version (simulated torn
+    write: the crash hit mid-P2P)."""
+    plan = engine.placement
+    groups = len(plan.data_group[0])
+    chunk_sites = [("data", j, plan.data_nodes[j]) for j in range(plan.k)] + [
+        ("parity", i, plan.parity_nodes[i]) for i in range(plan.m)
+    ]
+    for kind, idx, node in chunk_sites[keep_chunks:]:
+        for r in range(groups):
+            engine.host.delete(node, ("chunk", version, kind, idx, r))
+            engine.host.delete(node, ("digest", version, kind, idx, r))
+
+
+def verify(job, reference):
+    for worker, expected in reference.items():
+        assert state_dicts_equal(job.state_of(worker), expected), worker
+
+
+def test_restore_falls_back_to_previous_complete_version():
+    job, engine = make_engine()
+    job.advance()
+    engine.save()                      # v1: complete
+    v1_reference = job.snapshot_states()
+    job.advance()
+    engine.save()                      # v2: will be torn
+    tear_version(engine, 2, keep_chunks=1)
+
+    job.advance()
+    job.fail_nodes({3})
+    report = engine.restore({3})
+    assert report.version == 1         # rolled back past the torn v2
+    verify(job, v1_reference)
+
+
+def test_restore_uses_latest_version_when_intact():
+    job, engine = make_engine()
+    job.advance()
+    engine.save()
+    job.advance()
+    engine.save()
+    reference = job.snapshot_states()
+    job.fail_nodes({0, 1})
+    report = engine.restore({0, 1})
+    assert report.version == 2
+    verify(job, reference)
+
+
+def test_all_versions_torn_without_backup_raises():
+    job, engine = make_engine()
+    engine.save()
+    tear_version(engine, 1, keep_chunks=1)
+    job.fail_nodes({0})
+    with pytest.raises(RecoveryError):
+        engine.restore({0})
+
+
+def test_torn_version_with_backup_falls_back_to_remote():
+    job, engine = make_engine()
+    job.advance()
+    engine.save_remote_backup()        # v1 durable
+    backup_reference = job.snapshot_states()
+    job.advance()
+    engine.save()                      # v2 in memory, then torn
+    tear_version(engine, 2, keep_chunks=0)
+    job.fail_nodes({0})
+    report = engine.restore({0})
+    assert report.bytes_from_remote > 0
+    verify(job, backup_reference)
+
+
+def test_torn_version_plus_node_failures_combined():
+    """Torn v2 AND two node failures: v1 must still decode from its
+    surviving chunks."""
+    job, engine = make_engine()
+    job.advance()
+    engine.save()
+    v1_reference = job.snapshot_states()
+    job.advance()
+    engine.save()
+    tear_version(engine, 2, keep_chunks=1)
+    job.fail_nodes({0, 1})
+    report = engine.restore({0, 1})
+    assert report.version == 1
+    verify(job, v1_reference)

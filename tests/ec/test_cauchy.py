@@ -1,0 +1,134 @@
+"""Tests for the Cauchy Reed-Solomon code."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import CodeConfigError, DecodeError
+from repro.ec.base import CodeParams
+from repro.ec.cauchy import CauchyRSCode, build_cauchy_matrix
+from repro.gf.field import GF
+from repro.gf.matrix import gf_matrank, is_invertible
+
+
+def random_blocks(rng, k, size):
+    return [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(k)]
+
+
+def test_cauchy_matrix_every_square_submatrix_invertible():
+    f = GF(8)
+    k, m = 4, 3
+    cauchy = build_cauchy_matrix(k, m, f)
+    for rows in itertools.combinations(range(m), 2):
+        for cols in itertools.combinations(range(k), 2):
+            sub = cauchy[np.ix_(rows, cols)]
+            assert is_invertible(sub, f), (rows, cols)
+
+
+def test_cauchy_matrix_field_size_limit():
+    f = GF(4)
+    with pytest.raises(CodeConfigError):
+        build_cauchy_matrix(10, 8, f)  # 18 > 16
+
+
+def test_generator_is_systematic_and_mds():
+    code = CauchyRSCode(CodeParams(k=3, m=2, w=8))
+    gen = code.generator_matrix
+    assert np.array_equal(gen[:3], np.eye(3))
+    # MDS: every k-row submatrix has full rank.
+    f = code.field
+    for rows in itertools.combinations(range(5), 3):
+        assert gf_matrank(gen[list(rows)], f) == 3, rows
+
+
+@pytest.mark.parametrize("k,m", [(2, 2), (3, 2), (4, 4), (5, 1), (1, 3)])
+def test_any_k_of_n_decodes_exactly(k, m):
+    """The core MDS property on real bytes: every survivor set of size k works."""
+    rng = np.random.default_rng(k * 10 + m)
+    code = CauchyRSCode(CodeParams(k=k, m=m, w=8))
+    data = random_blocks(rng, k, 128)
+    chunks = code.encode_all(data)
+    for survivors in itertools.combinations(range(k + m), k):
+        available = {i: chunks[i] for i in survivors}
+        recovered = code.decode(available)
+        for original, rec in zip(data, recovered):
+            assert np.array_equal(original, rec), survivors
+
+
+def test_decode_with_insufficient_chunks_raises():
+    code = CauchyRSCode(CodeParams(k=3, m=2, w=8))
+    rng = np.random.default_rng(0)
+    chunks = code.encode_all(random_blocks(rng, 3, 64))
+    with pytest.raises(DecodeError):
+        code.decode({0: chunks[0], 4: chunks[4]})
+
+
+def test_can_decode_threshold():
+    code = CauchyRSCode(CodeParams(k=3, m=2, w=8))
+    assert code.can_decode({0, 1, 2})
+    assert code.can_decode({0, 3, 4})
+    assert code.can_decode({2, 3, 4})
+    assert not code.can_decode({0, 1})
+    with pytest.raises(CodeConfigError):
+        code.can_decode({0, 9})
+
+
+def test_encode_rejects_mismatched_block_sizes():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    with pytest.raises(CodeConfigError):
+        code.encode([np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8)])
+
+
+def test_encode_rejects_wrong_block_count():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    with pytest.raises(CodeConfigError):
+        code.encode([np.zeros(8, dtype=np.uint8)])
+
+
+def test_encode_does_not_mutate_input():
+    code = CauchyRSCode(CodeParams(k=2, m=2, w=8))
+    rng = np.random.default_rng(1)
+    data = random_blocks(rng, 2, 32)
+    copies = [d.copy() for d in data]
+    code.encode(data)
+    for original, copy in zip(data, copies):
+        assert np.array_equal(original, copy)
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_bitmatrix_encode_matches_field_encode(w):
+    """The XOR-only path must produce byte-identical parity."""
+    rng = np.random.default_rng(w)
+    code = CauchyRSCode(CodeParams(k=3, m=2, w=w))
+    size = 2 * w * 4  # divisible by w (and even for w=16)
+    if w <= 4:
+        data = [
+            (rng.integers(0, 1 << w, size=size, dtype=np.uint8)) for _ in range(3)
+        ]
+    else:
+        data = random_blocks(rng, 3, size)
+    field_parity = code.encode(data)
+    xor_parity = code.encode_bitmatrix(data)
+    for a, b in zip(field_parity, xor_parity):
+        assert np.array_equal(a, b)
+
+
+def test_bitmatrix_encode_requires_divisible_size():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    with pytest.raises(CodeConfigError):
+        code.encode_bitmatrix([np.zeros(9, dtype=np.uint8)] * 2)
+
+
+def test_w16_code_round_trip():
+    rng = np.random.default_rng(7)
+    code = CauchyRSCode(CodeParams(k=2, m=2, w=16))
+    data = random_blocks(rng, 2, 64)
+    chunks = code.encode_all(data)
+    recovered = code.decode({2: chunks[2], 3: chunks[3]})
+    for original, rec in zip(data, recovered):
+        assert np.array_equal(original, rec)
+
+
+def test_repr_mentions_parameters():
+    assert "k=2" in repr(CauchyRSCode(CodeParams(k=2, m=2)))

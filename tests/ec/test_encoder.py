@@ -1,0 +1,116 @@
+"""Tests for payload-level block encoding and the thread-pool encoder."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import CodeConfigError, DecodeError
+from repro.ec.base import CodeParams
+from repro.ec.cauchy import CauchyRSCode
+from repro.ec.encoder import BlockEncoder, pad_and_split, reassemble
+from repro.ec.threadpool import ThreadPoolEncoder
+
+
+def test_pad_and_split_round_trip():
+    payload = b"hello world, this is a checkpoint payload"
+    blocks, original = pad_and_split(payload, k=3)
+    assert original == len(payload)
+    assert len(blocks) == 3
+    assert len({b.nbytes for b in blocks}) == 1
+    assert reassemble(blocks, original) == payload
+
+
+def test_pad_and_split_empty_payload():
+    blocks, original = pad_and_split(b"", k=2)
+    assert original == 0
+    assert all(b.nbytes > 0 for b in blocks)
+    assert reassemble(blocks, 0) == b""
+
+
+def test_pad_and_split_accepts_numpy():
+    arr = np.arange(100, dtype=np.uint8)
+    blocks, original = pad_and_split(arr, k=4)
+    assert original == 100
+    assert reassemble(blocks, original) == arr.tobytes()
+
+
+def test_pad_and_split_rejects_bad_k():
+    with pytest.raises(CodeConfigError):
+        pad_and_split(b"x", k=0)
+
+
+def test_block_encoder_round_trip_every_survivor_set():
+    enc = BlockEncoder(CauchyRSCode(CodeParams(k=3, m=2, w=8)))
+    payload = bytes(range(256)) * 3 + b"tail"
+    encoded = enc.encode(payload)
+    assert len(encoded.chunks) == 5
+    for survivors in itertools.combinations(range(5), 3):
+        available = {i: encoded.chunks[i] for i in survivors}
+        assert enc.decode(available, encoded.original_length) == payload
+
+
+def test_block_encoder_insufficient_survivors():
+    enc = BlockEncoder(CauchyRSCode(CodeParams(k=3, m=2, w=8)))
+    encoded = enc.encode(b"payload")
+    with pytest.raises(DecodeError):
+        enc.decode({0: encoded.chunks[0]}, encoded.original_length)
+
+
+def test_block_encoder_chunk_bytes():
+    enc = BlockEncoder(CauchyRSCode(CodeParams(k=2, m=1, w=8)))
+    encoded = enc.encode(b"x" * 100)
+    assert encoded.chunk_bytes() == encoded.chunks[0].nbytes
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_threadpool_encoder_matches_serial(threads):
+    rng = np.random.default_rng(threads)
+    code = CauchyRSCode(CodeParams(k=3, m=2, w=8))
+    blocks = [rng.integers(0, 256, size=32768, dtype=np.uint8) for _ in range(3)]
+    serial = code.encode(blocks)
+    pooled = ThreadPoolEncoder(code, threads=threads, min_subtask_bytes=1024).encode(
+        blocks
+    )
+    for a, b in zip(serial, pooled):
+        assert np.array_equal(a, b)
+
+
+def test_threadpool_encoder_w16_alignment():
+    rng = np.random.default_rng(9)
+    code = CauchyRSCode(CodeParams(k=2, m=2, w=16))
+    blocks = [rng.integers(0, 256, size=10000, dtype=np.uint8) for _ in range(2)]
+    serial = code.encode(blocks)
+    pooled = ThreadPoolEncoder(code, threads=3, min_subtask_bytes=512).encode(blocks)
+    for a, b in zip(serial, pooled):
+        assert np.array_equal(a, b)
+
+
+def test_threadpool_encoder_records_stats():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    enc = ThreadPoolEncoder(code, threads=2, min_subtask_bytes=64)
+    blocks = [np.zeros(1024, dtype=np.uint8)] * 2
+    enc.encode(blocks)
+    assert enc.last_stats is not None
+    assert enc.last_stats.bytes_encoded == 2048
+    assert enc.last_stats.sub_tasks >= 1
+
+
+def test_threadpool_encoder_tiny_buffer_single_task():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    enc = ThreadPoolEncoder(code, threads=8, min_subtask_bytes=4096)
+    blocks = [np.ones(16, dtype=np.uint8)] * 2
+    parity = enc.encode(blocks)
+    assert enc.last_stats.sub_tasks == 1
+    assert np.array_equal(parity[0], code.encode(blocks)[0])
+
+
+def test_threadpool_encoder_validates_input():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    enc = ThreadPoolEncoder(code, threads=2)
+    with pytest.raises(CodeConfigError):
+        enc.encode([np.zeros(8, dtype=np.uint8)])
+    with pytest.raises(CodeConfigError):
+        enc.encode([np.zeros(8, dtype=np.uint8), np.zeros(4, dtype=np.uint8)])
+    with pytest.raises(CodeConfigError):
+        ThreadPoolEncoder(code, threads=0)

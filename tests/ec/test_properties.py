@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for the erasure-coding layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.base import CodeParams
+from repro.ec.cauchy import CauchyRSCode
+from repro.ec.encoder import BlockEncoder
+from repro.ec.vandermonde import VandermondeRSCode
+
+code_params = st.tuples(
+    st.integers(min_value=1, max_value=6),  # k
+    st.integers(min_value=1, max_value=4),  # m
+)
+
+
+@given(params=code_params, payload=st.binary(min_size=0, max_size=2048), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_k_survivors_recover_payload(params, payload, data):
+    """For random (k, m, payload, survivor set): decode is exact."""
+    k, m = params
+    enc = BlockEncoder(CauchyRSCode(CodeParams(k=k, m=m, w=8)))
+    encoded = enc.encode(payload)
+    n = k + m
+    survivors = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    available = {i: encoded.chunks[i] for i in survivors}
+    assert enc.decode(available, encoded.original_length) == payload
+
+
+@given(params=code_params, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_cauchy_and_vandermonde_encode_decode_agree_on_data(params, seed):
+    """Different MDS constructions must both recover the same data."""
+    k, m = params
+    rng = np.random.default_rng(seed)
+    blocks = [rng.integers(0, 256, size=48, dtype=np.uint8) for _ in range(k)]
+    for cls in (CauchyRSCode, VandermondeRSCode):
+        code = cls(CodeParams(k=k, m=m, w=8))
+        chunks = code.encode_all(blocks)
+        # Lose the first min(m, k) data chunks — worst case for decoding.
+        lost = set(range(min(m, k)))
+        available = {i: chunks[i] for i in range(k + m) if i not in lost}
+        recovered = code.decode(available)
+        for original, rec in zip(blocks, recovered):
+            assert np.array_equal(original, rec)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.integers(min_value=1, max_value=64).map(lambda v: v * 8),
+)
+@settings(max_examples=30, deadline=None)
+def test_bitmatrix_path_equals_field_path(seed, size):
+    """XOR-only Cauchy encoding is byte-identical to field arithmetic."""
+    rng = np.random.default_rng(seed)
+    code = CauchyRSCode(CodeParams(k=2, m=2, w=8))
+    blocks = [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(2)]
+    field = code.encode(blocks)
+    xored = code.encode_bitmatrix(blocks)
+    for a, b in zip(field, xored):
+        assert np.array_equal(a, b)
+
+
+@given(payload=st.binary(min_size=0, max_size=512))
+@settings(max_examples=40, deadline=None)
+def test_parity_linearity(payload):
+    """Parity of (A xor B) == parity(A) xor parity(B): codes are linear."""
+    code = CauchyRSCode(CodeParams(k=2, m=2, w=8))
+    enc = BlockEncoder(code)
+    a = enc.encode(payload)
+    zeros = enc.encode(bytes(len(payload)))
+    assert a.chunk_bytes() == zeros.chunk_bytes()
+    # XOR of the encodings equals the encoding of the XOR (payload ^ 0 = payload).
+    for i in range(4):
+        assert np.array_equal(a.chunks[i] ^ zeros.chunks[i], a.chunks[i])

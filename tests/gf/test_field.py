@@ -1,0 +1,136 @@
+"""Tests for scalar and region arithmetic in GF(2^w)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.gf.field import GF
+
+
+def test_instances_are_cached_per_word_size():
+    assert GF(8) is GF(8)
+    assert GF(8) is not GF(4)
+
+
+def test_invalid_word_size():
+    with pytest.raises(FieldError):
+        GF(5)
+
+
+@pytest.mark.parametrize("w", [2, 4, 8, 16])
+def test_multiplicative_identity_and_zero(w):
+    f = GF(w)
+    for a in [0, 1, 2, f.size - 1]:
+        assert f.mul(a, 1) == a
+        assert f.mul(a, 0) == 0
+
+
+def test_known_gf256_products():
+    f = GF(8)
+    # With polynomial 0x11D: 2 * 128 = 256 mod poly = 0x11D ^ 0x100 = 0x1D.
+    assert f.mul(2, 128) == 0x1D
+    assert f.mul(3, 7) == 9  # (x+1)(x^2+x+1) = x^3 + 1
+
+
+@pytest.mark.parametrize("w", [4, 8])
+def test_inverse_round_trip_all_elements(w):
+    f = GF(w)
+    for a in range(1, f.size):
+        assert f.mul(a, f.inv(a)) == 1
+
+
+def test_div_is_mul_by_inverse():
+    f = GF(8)
+    for a, b in [(5, 3), (200, 77), (1, 255), (123, 1)]:
+        assert f.div(a, b) == f.mul(a, f.inv(b))
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(FieldError):
+        GF(8).div(5, 0)
+
+
+def test_inv_of_zero_raises():
+    with pytest.raises(FieldError):
+        GF(8).inv(0)
+
+
+def test_pow_matches_repeated_multiplication():
+    f = GF(8)
+    for base in [2, 3, 29]:
+        acc = 1
+        for e in range(10):
+            assert f.pow(base, e) == acc
+            acc = f.mul(acc, base)
+
+
+def test_pow_negative_exponent():
+    f = GF(8)
+    assert f.mul(f.pow(7, -1), 7) == 1
+    assert f.pow(7, -2) == f.inv(f.mul(7, 7))
+
+
+def test_pow_zero_base():
+    f = GF(8)
+    assert f.pow(0, 0) == 1
+    assert f.pow(0, 3) == 0
+    with pytest.raises(FieldError):
+        f.pow(0, -1)
+
+
+def test_out_of_range_values_rejected():
+    with pytest.raises(FieldError):
+        GF(4).mul(16, 1)
+    with pytest.raises(FieldError):
+        GF(8).mul(-1, 1)
+
+
+def test_mul_array_matches_scalar():
+    f = GF(8)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=100, dtype=np.uint32)
+    b = rng.integers(0, 256, size=100, dtype=np.uint32)
+    out = f.mul_array(a, b)
+    for x, y, z in zip(a, b, out):
+        assert f.mul(int(x), int(y)) == int(z)
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_mul_region_matches_scalar(w):
+    f = GF(w)
+    rng = np.random.default_rng(w)
+    if w == 16:
+        words = rng.integers(0, 1 << 16, size=64, dtype=np.uint16)
+        buf = words.view(np.uint8)
+    else:
+        buf = rng.integers(0, f.size, size=64, dtype=np.uint8)
+    for c in [0, 1, 2, f.size - 1, f.size // 2 + 1]:
+        out = f.mul_region(c, buf)
+        words_in = f.words_view(buf)
+        words_out = f.words_view(out)
+        for x, y in zip(words_in, words_out):
+            assert f.mul(c, int(x)) == int(y), (c, int(x))
+
+
+def test_mul_region_zero_and_one_fast_paths():
+    f = GF(8)
+    buf = np.arange(32, dtype=np.uint8)
+    assert not f.mul_region(0, buf).any()
+    one = f.mul_region(1, buf)
+    assert np.array_equal(one, buf)
+    assert one is not buf  # must be a copy
+
+
+def test_mul_region_xor_into_accumulates():
+    f = GF(8)
+    buf = np.arange(16, dtype=np.uint8)
+    acc = np.zeros(16, dtype=np.uint8)
+    f.mul_region_xor_into(3, buf, acc)
+    f.mul_region_xor_into(3, buf, acc)
+    assert not acc.any()  # x ^ x == 0 in GF(2^w)
+
+
+def test_w16_region_requires_even_length():
+    f = GF(16)
+    with pytest.raises(FieldError):
+        f.words_view(np.zeros(3, dtype=np.uint8))

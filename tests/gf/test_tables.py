@@ -1,0 +1,68 @@
+"""Tests for GF(2^w) log/antilog table construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_tables, mul_table
+
+
+@pytest.mark.parametrize("w", sorted(PRIMITIVE_POLYNOMIALS))
+def test_exp_enumerates_all_nonzero_elements(w):
+    exp, _ = build_tables(w)
+    order = (1 << w) - 1
+    assert sorted(int(v) for v in exp[:order]) == list(range(1, 1 << w))
+
+
+@pytest.mark.parametrize("w", sorted(PRIMITIVE_POLYNOMIALS))
+def test_log_inverts_exp(w):
+    exp, log = build_tables(w)
+    order = (1 << w) - 1
+    for i in range(order):
+        assert log[int(exp[i])] == i
+
+
+@pytest.mark.parametrize("w", [4, 8])
+def test_exp_table_doubled_for_modless_lookup(w):
+    exp, _ = build_tables(w)
+    order = (1 << w) - 1
+    assert np.array_equal(exp[:order], exp[order : 2 * order])
+
+
+def test_generator_is_primitive_for_w8():
+    # x = 2 must generate the full multiplicative group: its order is 255.
+    exp, _ = build_tables(8)
+    assert int(exp[0]) == 1
+    seen = {int(exp[i]) for i in range(255)}
+    assert len(seen) == 255
+
+
+def test_unsupported_word_size_rejected():
+    with pytest.raises(FieldError):
+        build_tables(3)
+
+
+def test_mul_table_matches_manual_polynomial_multiplication():
+    # Carry-less multiply then reduce by the primitive polynomial.
+    w = 4
+    poly = PRIMITIVE_POLYNOMIALS[w]
+    table = mul_table(w)
+
+    def slow_mul(a, b):
+        product = 0
+        for bit in range(w):
+            if (b >> bit) & 1:
+                product ^= a << bit
+        for bit in range(2 * w - 2, w - 1, -1):
+            if (product >> bit) & 1:
+                product ^= poly << (bit - w)
+        return product
+
+    for a in range(16):
+        for b in range(16):
+            assert int(table[a, b]) == slow_mul(a, b), (a, b)
+
+
+def test_mul_table_rejects_large_w():
+    with pytest.raises(FieldError):
+        mul_table(16)

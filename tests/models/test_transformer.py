@@ -1,0 +1,137 @@
+"""Tests for transformer parameter shapes and the state-dict factory."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.models.config import get_model_config, int_prod
+from repro.models.factory import build_worker_state_dict, scale_shape
+from repro.models.optimizer import adam_state_shapes
+from repro.models.transformer import (
+    embedding_shapes,
+    head_shapes,
+    layer_parameter_shapes,
+    layer_stacks,
+    parameter_shapes,
+)
+from repro.tensors.state_dict import tensor_items, total_tensor_bytes
+
+
+def test_gpt2_layer_contains_attention_and_mlp():
+    cfg = get_model_config("gpt2-1.6B")
+    names = [n for n, _ in layer_parameter_shapes(cfg, 0)]
+    assert any("attention.qkv" in n for n in names)
+    assert any("mlp.dense_h_to_4h" in n for n in names)
+    assert not any("cross_attention" in n for n in names)
+
+
+def test_t5_decoder_layer_has_cross_attention():
+    cfg = get_model_config("t5-1.6B")
+    encoder = [n for n, _ in layer_parameter_shapes(cfg, 0, decoder=False)]
+    decoder = [n for n, _ in layer_parameter_shapes(cfg, 0, decoder=True)]
+    assert not any("cross_attention" in n for n in encoder)
+    assert any("cross_attention" in n for n in decoder)
+    assert len(decoder) > len(encoder)
+
+
+def test_t5_layer_stacks_split_evenly():
+    cfg = get_model_config("t5-1.6B")
+    stacks = layer_stacks(cfg)
+    assert stacks == [("encoder", 24), ("decoder", 24)]
+
+
+def test_gpt2_single_stack():
+    cfg = get_model_config("gpt2-1.6B")
+    assert layer_stacks(cfg) == [("encoder", 48)]
+
+
+def test_bert_has_tokentype_embeddings_and_pooler():
+    cfg = get_model_config("bert-1.6B")
+    emb = [n for n, _ in embedding_shapes(cfg)]
+    head = [n for n, _ in head_shapes(cfg)]
+    assert any("tokentype" in n for n in emb)
+    assert any("pooler" in n for n in head)
+
+
+def test_qkv_shape_is_fused():
+    cfg = get_model_config("gpt2-1.6B")
+    shapes = dict(layer_parameter_shapes(cfg, 0))
+    assert shapes["encoder.layers.0.attention.qkv.weight"] == (4800, 1600)
+
+
+def test_parameter_shapes_have_unique_names_per_layer():
+    cfg = get_model_config("gpt2-h1024-L16")
+    names = [n for n, _ in parameter_shapes(cfg)]
+    assert len(names) == len(set(names))
+
+
+def test_twelve_h_squared_per_layer_rule():
+    """Per-block params ~ 12 h^2 (the standard transformer estimate)."""
+    cfg = get_model_config("gpt2-5.3B")
+    block = sum(int_prod(s) for _, s in layer_parameter_shapes(cfg, 0))
+    h = cfg.hidden_size
+    assert abs(block - 12 * h * h) / (12 * h * h) < 0.01
+
+
+def test_adam_state_shapes_triple_with_master():
+    params = [("w", (4, 4)), ("b", (4,))]
+    opt = adam_state_shapes(params, master_weights=True)
+    assert len(opt) == 6
+    assert ("w.exp_avg", (4, 4)) in opt
+    assert ("b.master", (4,)) in opt
+    opt_no_master = adam_state_shapes(params, master_weights=False)
+    assert len(opt_no_master) == 4
+
+
+def test_scale_shape_preserves_trailing_dims():
+    assert scale_shape((1000, 64), 0.01) == (10, 64)
+    assert scale_shape((3,), 0.001) == (1,)  # never collapses to zero
+    assert scale_shape((), 0.5) == ()
+    with pytest.raises(ReproError):
+        scale_shape((4,), 0)
+    with pytest.raises(ReproError):
+        scale_shape((4,), 1.5)
+
+
+def test_factory_builds_full_structure():
+    shapes = [("layer.weight", (64, 8)), ("layer.bias", (8,))]
+    sd = build_worker_state_dict(shapes, iteration=5, seed=1)
+    assert sd["iteration"] == 5
+    assert sd["optimizer"]["step"] == 5
+    assert set(sd["model"]) == {"layer.weight", "layer.bias"}
+    assert set(sd["optimizer"]["state"]["layer.weight"]) == {
+        "exp_avg", "exp_avg_sq", "master",
+    }
+    # fp16 params, fp32 moments: 2 + 3*4 = 14 bytes/param (+ rng state).
+    n_params = 64 * 8 + 8
+    assert total_tensor_bytes(sd) >= 14 * n_params
+
+
+def test_factory_rng_state_lives_on_cpu():
+    sd = build_worker_state_dict([("w", (4,))])
+    assert sd["rng_state"]["numpy"].device == "cpu"
+    gpu_tensors = [t for p, t in tensor_items(sd) if p[0] in ("model", "optimizer")]
+    assert all(t.device == "gpu" for t in gpu_tensors)
+
+
+def test_factory_deterministic_per_seed():
+    shapes = [("w", (16, 4))]
+    from repro.tensors.state_dict import state_dicts_equal
+
+    assert state_dicts_equal(
+        build_worker_state_dict(shapes, seed=9), build_worker_state_dict(shapes, seed=9)
+    )
+    assert not state_dicts_equal(
+        build_worker_state_dict(shapes, seed=9), build_worker_state_dict(shapes, seed=10)
+    )
+
+
+def test_factory_scale_shrinks_bytes():
+    shapes = [("w", (1000, 16))]
+    full = build_worker_state_dict(shapes, scale=1.0)
+    small = build_worker_state_dict(shapes, scale=0.01)
+    assert total_tensor_bytes(small) < total_tensor_bytes(full) / 50
+
+
+def test_factory_extra_metadata_embedded():
+    sd = build_worker_state_dict([("w", (4,))], extra_metadata={"lr": 3e-4})
+    assert sd["args"]["lr"] == 3e-4

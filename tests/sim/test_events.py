@@ -1,0 +1,81 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append(1))
+    sim.schedule(1.0, lambda: order.append(2))
+    sim.run()
+    assert order == [1, 2]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(sim.now)
+        if depth:
+            sim.schedule(1.0, lambda: chain(depth - 1))
+
+    sim.schedule(0.0, lambda: chain(3))
+    sim.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("no"))
+    sim.schedule(0.5, handle.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(1))
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert fired == []
+    sim.run()
+    assert fired == [1]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule_at(4.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [4.0]
+
+
+def test_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.processed == 5

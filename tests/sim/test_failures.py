@@ -1,0 +1,73 @@
+"""Tests for failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.failures import (
+    concurrent_failure_counts,
+    poisson_failure_trace,
+    sample_node_failures,
+)
+
+
+def test_sample_extremes():
+    rng = np.random.default_rng(0)
+    assert sample_node_failures(10, 0.0, rng) == set()
+    assert sample_node_failures(10, 1.0, rng) == set(range(10))
+
+
+def test_sample_probability_is_calibrated():
+    rng = np.random.default_rng(1)
+    p = 0.05
+    trials = 2000
+    nodes = 20
+    total = sum(len(sample_node_failures(nodes, p, rng)) for _ in range(trials))
+    observed = total / (trials * nodes)
+    assert abs(observed - p) < 0.01
+
+
+def test_sample_rejects_bad_probability():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SimulationError):
+        sample_node_failures(4, -0.1, rng)
+    with pytest.raises(SimulationError):
+        sample_node_failures(4, 1.5, rng)
+
+
+def test_poisson_trace_rate_matches_llama_statistic():
+    """Llama 3.1: ~419 failures / 54 days on a large fleet. With the fleet
+    rate = nodes/mtbf, the trace count should match duration * rate."""
+    rng = np.random.default_rng(2)
+    num_nodes, mtbf, duration = 100, 1000.0, 500.0
+    events = poisson_failure_trace(num_nodes, mtbf, duration, rng)
+    expected = duration * num_nodes / mtbf  # = 50
+    assert abs(len(events) - expected) < 3 * np.sqrt(expected)
+    assert all(0 <= e.time < duration for e in events)
+    assert all(0 <= e.node < num_nodes for e in events)
+
+
+def test_poisson_trace_is_time_ordered():
+    rng = np.random.default_rng(3)
+    events = poisson_failure_trace(10, 100.0, 200.0, rng)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_poisson_trace_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SimulationError):
+        poisson_failure_trace(4, 0, 10, rng)
+    with pytest.raises(SimulationError):
+        poisson_failure_trace(4, 10, 0, rng)
+
+
+def test_concurrent_failure_counts():
+    from repro.sim.failures import FailureEvent
+
+    events = [FailureEvent(0.5, 0), FailureEvent(0.7, 1), FailureEvent(2.1, 2)]
+    counts = concurrent_failure_counts(events, window_hours=1.0)
+    assert counts == [2, 0, 1]
+    assert concurrent_failure_counts([], 1.0) == []
+    with pytest.raises(SimulationError):
+        concurrent_failure_counts(events, 0)

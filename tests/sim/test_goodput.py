@@ -1,0 +1,128 @@
+"""Tests for the end-to-end goodput simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.goodput import EngineProfile, _group_incidents, simulate_goodput
+from repro.sim.failures import FailureEvent
+
+
+def make_profile(
+    name="test",
+    stall=0.5,
+    checkpoint_time=5.0,
+    memory_recovery=10.0,
+    remote_recovery=300.0,
+    survives=lambda failed: len(failed) <= 2,
+    durable_every=False,
+):
+    return EngineProfile(
+        name=name,
+        stall_s=stall,
+        checkpoint_time_s=checkpoint_time,
+        memory_recovery_s=memory_recovery,
+        remote_recovery_s=remote_recovery,
+        survives=survives,
+        durable_every_checkpoint=durable_every,
+    )
+
+
+def run(profile, mtbf=24.0, seed=0, **kwargs):
+    defaults = dict(
+        num_nodes=4,
+        mtbf_hours=mtbf,
+        duration_hours=24 * 7,
+        iteration_s=10.0,
+        checkpoint_interval_iters=8,
+        rng=np.random.default_rng(seed),
+    )
+    defaults.update(kwargs)
+    return simulate_goodput(profile, **defaults)
+
+
+def test_no_failures_goodput_is_overhead_only():
+    profile = make_profile(stall=0.0)
+    result = run(profile, mtbf=1e9)
+    assert result.incidents == 0
+    assert result.goodput == pytest.approx(1.0)
+
+
+def test_checkpoint_stall_reduces_goodput_without_failures():
+    lazy = run(make_profile(stall=0.0), mtbf=1e9)
+    busy = run(make_profile(stall=5.0), mtbf=1e9)  # 5s stall / 80s interval
+    assert busy.goodput < lazy.goodput
+    assert busy.checkpoint_overhead_hours > 0
+
+
+def test_failures_cost_lost_work_and_recovery():
+    result = run(make_profile(), mtbf=12.0)
+    assert result.incidents > 0
+    assert result.recovery_hours > 0
+    assert result.goodput < 1.0
+    assert result.memory_recoveries + result.remote_recoveries == result.incidents
+
+
+def test_surviving_engine_avoids_remote_recoveries():
+    always = run(make_profile(survives=lambda f: True), mtbf=6.0, seed=3)
+    never = run(make_profile(survives=lambda f: False), mtbf=6.0, seed=3)
+    assert always.remote_recoveries == 0
+    assert never.memory_recoveries == 0
+    # Remote recovery is slower and loses more work -> lower goodput.
+    assert never.goodput < always.goodput
+
+
+def test_same_trace_for_same_seed():
+    a = run(make_profile(), seed=11)
+    b = run(make_profile(), seed=11)
+    assert a.goodput == b.goodput
+    assert a.incidents == b.incidents
+
+
+def test_interval_clamped_to_checkpoint_latency():
+    """An engine with a 100 s checkpoint cannot checkpoint every 10 s; the
+    effective interval is clamped, raising the rollback cost."""
+    slow = run(
+        make_profile(checkpoint_time=1000.0, stall=0.1), mtbf=6.0, seed=5,
+        checkpoint_interval_iters=1,
+    )
+    fast = run(
+        make_profile(checkpoint_time=1.0, stall=0.1), mtbf=6.0, seed=5,
+        checkpoint_interval_iters=1,
+    )
+    assert slow.lost_work_hours > fast.lost_work_hours
+
+
+def test_durable_every_checkpoint_limits_remote_rollback():
+    durable = run(
+        make_profile(survives=lambda f: False, durable_every=True),
+        mtbf=6.0, seed=9,
+    )
+    sparse = run(
+        make_profile(survives=lambda f: False, durable_every=False),
+        mtbf=6.0, seed=9,
+        remote_backup_interval_s=24 * 3600.0,
+    )
+    assert durable.lost_work_hours < sparse.lost_work_hours
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        run(make_profile(), iteration_s=0.0)
+    with pytest.raises(SimulationError):
+        run(make_profile(), checkpoint_interval_iters=0)
+    with pytest.raises(SimulationError):
+        run(make_profile(), duration_hours=0.0)
+
+
+def test_group_incidents_clusters_close_events():
+    events = [
+        FailureEvent(1.00, 0),
+        FailureEvent(1.01, 1),  # within window -> same incident
+        FailureEvent(5.00, 2),
+    ]
+    incidents = _group_incidents(events, window_hours=0.05)
+    assert len(incidents) == 2
+    assert incidents[0][1] == {0, 1}
+    assert incidents[1][1] == {2}
+    assert _group_incidents([], 0.1) == []

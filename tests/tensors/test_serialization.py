@@ -1,0 +1,131 @@
+"""Tests for serialization and the serialization-free decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.models.factory import build_worker_state_dict
+from repro.tensors.serialization import (
+    Decomposition,
+    decompose_state_dict,
+    deserialize_state_dict,
+    recompose_state_dict,
+    serialize_state_dict,
+    serialized_size,
+)
+from repro.tensors.state_dict import state_dicts_equal, total_tensor_bytes
+from repro.tensors.tensor import CPU, SimTensor
+
+
+@pytest.fixture
+def sd():
+    shapes = [("a.weight", (8, 4)), ("a.bias", (4,)), ("b.weight", (6, 6))]
+    return build_worker_state_dict(shapes, iteration=11, seed=3)
+
+
+def test_full_serialization_round_trip(sd):
+    blob = serialize_state_dict(sd)
+    restored = deserialize_state_dict(blob)
+    assert state_dicts_equal(sd, restored)
+
+
+def test_deserialized_tensors_on_cpu(sd):
+    restored = deserialize_state_dict(serialize_state_dict(sd))
+    from repro.tensors.state_dict import tensor_items
+
+    assert all(t.device == CPU for _, t in tensor_items(restored))
+
+
+def test_serialized_size_exceeds_tensor_bytes(sd):
+    # Serialization adds structure overhead on top of the raw tensor bytes.
+    assert serialized_size(sd) > total_tensor_bytes(sd)
+
+
+def test_decompose_separates_components(sd):
+    dec = decompose_state_dict(sd)
+    assert dec.tensor_bytes == total_tensor_bytes(sd)
+    assert len(dec.tensor_meta) == len(dec.tensor_data)
+    # Non-tensor leaves: iteration, versions, optimizer step, rng position...
+    assert ("iteration",) in dec.non_tensor_kv
+    assert all(
+        not isinstance(v, SimTensor) for v in dec.non_tensor_kv.values()
+    )
+
+
+def test_metadata_blob_is_tiny_fraction():
+    """The paper's observation: keys + non-tensor data are < 1% of bytes.
+
+    Needs realistically sized tensors; the per-tensor metadata is constant
+    while tensor bytes grow with the model.
+    """
+    shapes = [(f"layer.{i}.weight", (512, 64)) for i in range(8)]
+    dec = decompose_state_dict(build_worker_state_dict(shapes, seed=0))
+    assert len(dec.metadata_blob()) < 0.01 * dec.tensor_bytes
+
+
+def test_recompose_round_trip(sd):
+    dec = decompose_state_dict(sd)
+    restored = recompose_state_dict(dec)
+    assert state_dicts_equal(sd, restored)
+
+
+def test_recompose_from_broadcast_metadata(sd):
+    """A peer holding only the metadata blob + raw bytes rebuilds the dict."""
+    dec = decompose_state_dict(sd)
+    blob = dec.metadata_blob()
+    rebuilt = Decomposition.from_metadata_blob(blob, tensor_data=dec.tensor_data)
+    restored = recompose_state_dict(rebuilt)
+    assert state_dicts_equal(sd, restored)
+
+
+def test_concatenate_and_split_tensor_bytes(sd):
+    dec = decompose_state_dict(sd)
+    flat = dec.concatenated_tensor_bytes()
+    assert flat.nbytes == dec.tensor_bytes
+    parts = dec.split_tensor_bytes(flat)
+    for original, part in zip(dec.tensor_data, parts):
+        assert np.array_equal(original, part)
+
+
+def test_split_rejects_short_blob(sd):
+    dec = decompose_state_dict(sd)
+    with pytest.raises(ReproError):
+        dec.split_tensor_bytes(np.zeros(2, dtype=np.uint8))
+
+
+def test_recompose_rejects_wrong_buffer_count(sd):
+    dec = decompose_state_dict(sd)
+    dec.tensor_data.pop()
+    with pytest.raises(ReproError):
+        recompose_state_dict(dec)
+
+
+def test_recompose_rejects_wrong_buffer_size(sd):
+    dec = decompose_state_dict(sd)
+    dec.tensor_data[0] = np.zeros(3, dtype=np.uint8)
+    with pytest.raises(ReproError):
+        recompose_state_dict(dec)
+
+
+def test_decompose_offload_copies_bytes(sd):
+    dec = decompose_state_dict(sd, offload_to_cpu=True)
+    # Mutating the offloaded buffer must not touch the live GPU tensor.
+    first_tensor = next(iter(sd["model"].values()))
+    before = first_tensor.byte_view().copy()
+    dec.tensor_data[0][:] = 0
+    assert np.array_equal(first_tensor.byte_view(), before)
+
+
+def test_decompose_zero_copy_mode_views(sd):
+    dec = decompose_state_dict(sd, offload_to_cpu=False)
+    dec.tensor_data[0][0] ^= 0xFF
+    first_tensor = next(iter(sd["model"].values()))
+    # Zero-copy mode shares storage with the tensor.
+    assert dec.tensor_data[0][0] == first_tensor.byte_view()[0]
+
+
+def test_empty_state_dict_decomposes():
+    dec = decompose_state_dict({"iteration": 0})
+    assert dec.tensor_bytes == 0
+    assert dec.concatenated_tensor_bytes().nbytes == 0
+    assert state_dicts_equal(recompose_state_dict(dec), {"iteration": 0})

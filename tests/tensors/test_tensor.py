@@ -1,0 +1,80 @@
+"""Tests for SimTensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tensors.tensor import CPU, GPU, SimTensor
+
+
+def test_tensor_defaults_to_gpu():
+    t = SimTensor(np.zeros(4, dtype=np.float32))
+    assert t.device == GPU
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(ReproError):
+        SimTensor(np.zeros(4), device="tpu")
+    with pytest.raises(ReproError):
+        SimTensor(np.zeros(4)).to("tpu")
+
+
+def test_to_copies_storage():
+    t = SimTensor(np.arange(8, dtype=np.float32), device=GPU)
+    host = t.to(CPU)
+    assert host.device == CPU
+    assert np.array_equal(host.data, t.data)
+    host.data[0] = 99
+    assert t.data[0] == 0  # deep copy
+
+
+def test_nbytes_and_shape():
+    t = SimTensor(np.zeros((3, 5), dtype=np.float16))
+    assert t.nbytes == 30
+    assert t.shape == (3, 5)
+    assert t.dtype == np.float16
+
+
+def test_byte_view_is_zero_copy():
+    t = SimTensor(np.arange(4, dtype=np.uint32))
+    view = t.byte_view()
+    assert view.nbytes == 16
+    view[0] = 77
+    assert t.data[0] == 77
+
+
+def test_from_bytes_round_trip():
+    t = SimTensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+    rebuilt = SimTensor.from_bytes(
+        t.byte_view().tobytes(), t.dtype, t.shape, device=CPU
+    )
+    assert rebuilt.equal(t)
+    assert rebuilt.device == CPU
+
+
+def test_equal_requires_same_dtype_and_shape():
+    a = SimTensor(np.zeros(4, dtype=np.float32))
+    b = SimTensor(np.zeros(4, dtype=np.float64))
+    c = SimTensor(np.zeros((2, 2), dtype=np.float32))
+    assert not a.equal(b)
+    assert not a.equal(c)
+    assert a.equal(SimTensor(np.zeros(4, dtype=np.float32)))
+
+
+def test_random_is_deterministic_per_seed():
+    a = SimTensor.random((8,), seed=1)
+    b = SimTensor.random((8,), seed=1)
+    c = SimTensor.random((8,), seed=2)
+    assert a.equal(b)
+    assert not a.equal(c)
+
+
+def test_random_integer_dtype():
+    t = SimTensor.random((16,), dtype="uint32", seed=0)
+    assert t.dtype == np.uint32
+
+
+def test_non_contiguous_input_made_contiguous():
+    base = np.arange(16, dtype=np.float32).reshape(4, 4)
+    t = SimTensor(base.T)  # transpose is non-contiguous
+    assert t.data.flags["C_CONTIGUOUS"]

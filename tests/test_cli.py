@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import _registry, build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_shows_every_experiment():
+    code, output = run_cli("list")
+    assert code == 0
+    for name in _registry():
+        assert name in output
+
+
+def test_registry_drivers_are_callable():
+    for name, (description, driver) in _registry().items():
+        assert callable(driver), name
+        assert description
+
+
+def test_run_single_experiment():
+    code, output = run_cli("run", "fig3")
+    assert code == 0
+    assert "Fig. 3" in output
+    assert "erasure_coding" in output
+
+
+def test_run_analytic_experiments():
+    for name in ("fig15", "comm-volume", "ablation-schedule", "ablation-cauchy"):
+        code, output = run_cli("run", name)
+        assert code == 0, name
+        assert "==" in output
+
+
+def test_run_unknown_experiment():
+    code, _ = run_cli("run", "fig99")
+    assert code == 2
+
+
+def test_quickstart_round_trips():
+    code, output = run_cli("quickstart")
+    assert code == 0
+    assert "bit-exact: True" in output
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--version"])
+    assert excinfo.value.code == 0
