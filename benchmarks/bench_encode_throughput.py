@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Thin wrapper over :mod:`repro.bench.encode_throughput`.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_encode_throughput.py [--quick]
+
+Writes ``BENCH_encode_throughput.json``; the same driver is reachable as
+``python -m repro bench-encode``.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.encode_throughput import main  # noqa: E402
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--payload-mib", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_encode_throughput.json")
+    args = parser.parse_args()
+    payload = args.payload_mib
+    if payload is None:
+        payload = 4.0 if args.quick else 64.0
+    sys.exit(
+        main(
+            payload_mib=payload,
+            output=args.output,
+            repeats=args.repeats,
+            threads=args.threads,
+            quick=args.quick,
+        )
+    )

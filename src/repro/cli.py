@@ -59,6 +59,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment name from 'list', or 'all'")
 
     sub.add_parser("quickstart", help="save / crash two nodes / restore demo")
+
+    bench = sub.add_parser(
+        "bench-encode",
+        help="measure encode/decode throughput of the XOR kernel layer",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-payload smoke run that asserts the fast-path speedups",
+    )
+    bench.add_argument(
+        "--payload-mib",
+        type=float,
+        default=None,
+        help="payload size in MiB (default 64, or 4 with --quick)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    bench.add_argument(
+        "--threads", type=int, default=4, help="thread-pool size for pool_encode"
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_encode_throughput.json",
+        help="JSON results path ('' to skip writing)",
+    )
     return parser
 
 
@@ -99,6 +126,20 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_run(args.experiment, out)
     if args.command == "quickstart":
         return _quickstart(out)
+    if args.command == "bench-encode":
+        from repro.bench.encode_throughput import main as bench_main
+
+        payload = args.payload_mib
+        if payload is None:
+            payload = 4.0 if args.quick else 64.0
+        return bench_main(
+            payload_mib=payload,
+            output=args.output,
+            repeats=args.repeats,
+            threads=args.threads,
+            quick=args.quick,
+            out=out,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -136,3 +177,7 @@ def _quickstart(out) -> int:
         file=out,
     )
     return 0 if exact else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as `python -m repro.cli`
+    sys.exit(main())

@@ -41,6 +41,7 @@ from repro.core.protocol import (
 from repro.core.reduction import ReductionPlan, build_reduction_plan
 from repro.ec.base import CodeParams
 from repro.ec.cauchy import CauchyRSCode
+from repro.ec.threadpool import ThreadPoolEncoder
 from repro.sim.network import TransferRequest, gbps
 from repro.tensors.state_dict import map_tensors
 from repro.tensors.tensor import GPU
@@ -91,6 +92,7 @@ class ECCheckEngine(CheckpointEngine):
         self.placement: PlacementPlan | None = None
         self.reduction_plan: ReductionPlan | None = None
         self.code: CauchyRSCode | None = None
+        self.encoder: ThreadPoolEncoder | None = None
         self.last_pipeline_stats = None
         self._last_packets: dict[int, np.ndarray] = {}
         self._last_full_version: int | None = None
@@ -132,6 +134,10 @@ class ECCheckEngine(CheckpointEngine):
         node_of = {w: self.job.node_of(w) for w in range(world)}
         self.reduction_plan = build_reduction_plan(self.placement, node_of)
         self.code = CauchyRSCode(CodeParams(k=cfg.k, m=cfg.m, w=cfg.w))
+        # Recovery re-encodes whole chunks; route them through the pooled
+        # encoder so they use the same word-packed kernel fast path (and
+        # sub-task fan-out) as the save pipeline.
+        self.encoder = ThreadPoolEncoder(self.code, threads=cfg.encode_threads)
 
     # ------------------------------------------------------------------
     # Worker indexing within the placement
@@ -693,7 +699,7 @@ class ECCheckEngine(CheckpointEngine):
                     )
                     for j in range(plan.k)
                 ]
-                parity_packet = self.code.encode(data_packets)[i]
+                parity_packet = self.encoder.encode(data_packets)[i]
                 self._store_chunk_packet(
                     parity_node, version, "parity", i, r, parity_packet
                 )
@@ -763,7 +769,7 @@ class ECCheckEngine(CheckpointEngine):
                 )
                 if node != decode_node:
                     bytes_inter += logical_packet
-            data_packets = self.code.decode(available)
+            data_packets = self.code.decode_fast(available)
             for j in range(plan.k):
                 recovered[(j, r)] = data_packets[j]
                 worker = plan.data_group[j][r]
@@ -813,7 +819,7 @@ class ECCheckEngine(CheckpointEngine):
             if parity_node not in failed_nodes and (plan.k + i) in chunk_available:
                 continue
             for r in range(groups):
-                parity_packet = self.code.encode(
+                parity_packet = self.encoder.encode(
                     [recovered[(j, r)] for j in range(plan.k)]
                 )[i]
                 self._store_chunk_packet(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import CheckpointError, DecodeError
 from repro.ec.base import ErasureCode
+from repro.ec.kernels import xor_reduce_arrays
 from repro.tensors.serialization import (
     Decomposition,
     decompose_state_dict,
@@ -123,13 +124,15 @@ def encode_packet(
 
 
 def xor_reduce(encoded_packets: list[np.ndarray]) -> np.ndarray:
-    """XOR a reduction group's encoded packets into one parity packet."""
+    """XOR a reduction group's encoded packets into one parity packet.
+
+    Runs on uint64 lanes via the kernel layer whenever the packets are
+    contiguous and word-divisible (the common case: packets are
+    alignment-padded by the block encoder).
+    """
     if not encoded_packets:
         raise CheckpointError("nothing to reduce")
-    acc = encoded_packets[0].copy()
-    for packet in encoded_packets[1:]:
-        np.bitwise_xor(acc, packet, out=acc)
-    return acc
+    return xor_reduce_arrays(encoded_packets)
 
 
 def decode_group(
@@ -138,9 +141,10 @@ def decode_group(
     """Recover a reduction group's ``k`` data packets from any ``k`` chunks.
 
     ``available`` maps chunk id (0..k-1 data, k..k+m-1 parity) to that
-    chunk's packet for this reduction group.
+    chunk's packet for this reduction group.  Dispatches through the
+    code's fast path (bitmatrix kernels for Cauchy RS).
     """
-    return code.decode(available)
+    return code.decode_fast(available)
 
 
 def reencode_parity(
@@ -154,4 +158,4 @@ def reencode_parity(
         raise CheckpointError(
             f"need {code.params.k} data packets, got {len(data_packets)}"
         )
-    return code.encode(data_packets)[parity_index]
+    return code.encode_fast(data_packets)[parity_index]

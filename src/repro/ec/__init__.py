@@ -13,6 +13,11 @@ The coding stack has three levels:
 3. **Encoders** (:mod:`repro.ec.encoder`, :mod:`repro.ec.threadpool`) apply
    a code to real byte payloads — splitting, padding, chunking for
    thread-pool parallelism, and reassembling decoded output.
+
+Underneath all three sits the **kernel layer** (:mod:`repro.ec.kernels`):
+word-packed, cache-blocked GF(2) primitives that every hot path — schedule
+execution, bitmatrix encode/decode, the XOR-reduce protocol step — runs on.
+See DESIGN.md "Hot path architecture".
 """
 
 from repro.ec.base import CodeParams, ErasureCode
@@ -21,11 +26,20 @@ from repro.ec.cauchy import (
     bitmatrix_ones,
     build_cauchy_good_matrix,
     build_cauchy_matrix,
+    schedule_cache_info,
+)
+from repro.ec.kernels import (
+    DEFAULT_CHUNK_BYTES,
+    WORD_BYTES,
+    apply_schedule_blocks,
+    range_alignment,
+    xor_reduce_arrays,
+    xor_reduce_into,
 )
 from repro.ec.vandermonde import VandermondeRSCode, build_vandermonde_generator
 from repro.ec.replication import ReplicationCode
 from repro.ec.xor_code import SingleParityCode
-from repro.ec.schedule import XorSchedule, dumb_schedule, smart_schedule
+from repro.ec.schedule import XorSchedule, dumb_schedule, paar_schedule, smart_schedule
 from repro.ec.encoder import BlockEncoder, pad_and_split, reassemble
 from repro.ec.threadpool import ThreadPoolEncoder
 
@@ -36,12 +50,20 @@ __all__ = [
     "bitmatrix_ones",
     "build_cauchy_good_matrix",
     "build_cauchy_matrix",
+    "schedule_cache_info",
+    "DEFAULT_CHUNK_BYTES",
+    "WORD_BYTES",
+    "apply_schedule_blocks",
+    "range_alignment",
+    "xor_reduce_arrays",
+    "xor_reduce_into",
     "VandermondeRSCode",
     "build_vandermonde_generator",
     "ReplicationCode",
     "SingleParityCode",
     "XorSchedule",
     "dumb_schedule",
+    "paar_schedule",
     "smart_schedule",
     "BlockEncoder",
     "pad_and_split",

@@ -10,6 +10,7 @@ matrix, using the vectorised region operations from :mod:`repro.gf.field`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,10 +55,18 @@ class ErasureCode(ABC):
     checks, and decoding are inherited.
     """
 
+    #: Decoding matrices kept per survivor-id tuple.  Real recoveries
+    #: decode the same survivor set once per reduction group, so without a
+    #: cache the k x k GF inversion reruns for every group.
+    DECODING_CACHE_SIZE = 64
+
     def __init__(self, params: CodeParams):
         self.params = params
         self.field = GF(params.w)
         self._generator: np.ndarray | None = None
+        self._decoding_cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self._decoding_cache_hits = 0
+        self._decoding_cache_misses = 0
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -147,8 +156,29 @@ class ErasureCode(ABC):
             raise DecodeError(
                 f"need exactly k={self.params.k} distinct chunk ids, got {ids}"
             )
+        key = tuple(ids)
+        cached = self._decoding_cache.get(key)
+        if cached is not None:
+            self._decoding_cache_hits += 1
+            self._decoding_cache.move_to_end(key)
+            return cached
+        self._decoding_cache_misses += 1
         sub = self.generator_matrix[ids]
-        return gf_matinv(sub, self.field)
+        matrix = gf_matinv(sub, self.field)
+        matrix.setflags(write=False)  # cached result is shared, not owned
+        self._decoding_cache[key] = matrix
+        if len(self._decoding_cache) > self.DECODING_CACHE_SIZE:
+            self._decoding_cache.popitem(last=False)
+        return matrix
+
+    def decoding_cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the decoding-matrix LRU cache."""
+        return {
+            "hits": self._decoding_cache_hits,
+            "misses": self._decoding_cache_misses,
+            "size": len(self._decoding_cache),
+            "max_size": self.DECODING_CACHE_SIZE,
+        }
 
     def decode(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
         """Reconstruct the ``k`` original data blocks.
@@ -185,6 +215,22 @@ class ErasureCode(ABC):
                 self.field.mul_region_xor_into(coeff, blocks[col], acc)
             out.append(acc)
         return out
+
+    # ------------------------------------------------------------------
+    # Fast-path dispatch.  Codes with a vectorised XOR kernel path (the
+    # Cauchy RS bitmatrix implementation) override these; everything that
+    # moves checkpoint bytes calls them, so the dispatch decision lives in
+    # one place instead of at every call site.
+    # ------------------------------------------------------------------
+    def encode_fast(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Encode via the fastest available path (byte-identical to
+        :meth:`encode`)."""
+        return self.encode(data_blocks)
+
+    def decode_fast(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Decode via the fastest available path (byte-identical to
+        :meth:`decode`)."""
+        return self.decode(available)
 
     def encode_all(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Return all ``n`` chunks: the data blocks followed by parity."""

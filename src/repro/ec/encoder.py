@@ -25,6 +25,10 @@ def pad_and_split(
     Returns the blocks and the original length (needed to strip padding
     after decoding).  ``alignment`` keeps block sizes friendly to w=16
     word views and SIMD-ish numpy ops.
+
+    The returned blocks are zero-copy views into one contiguous padded
+    buffer — one allocation per payload regardless of ``k``.  Callers that
+    mutate a block in place must copy it first; the encode paths never do.
     """
     if k < 1:
         raise CodeConfigError(f"k must be >= 1, got {k}")
@@ -37,7 +41,7 @@ def pad_and_split(
     padded = np.zeros(padded_len, dtype=np.uint8)
     padded[:original] = data
     block = padded_len // k
-    return [padded[i * block : (i + 1) * block].copy() for i in range(k)], original
+    return [padded[i * block : (i + 1) * block] for i in range(k)], original
 
 
 def reassemble(blocks: list[np.ndarray], original_length: int) -> bytes:
@@ -78,7 +82,7 @@ class BlockEncoder:
     def encode(self, payload: bytes | np.ndarray) -> EncodedPayload:
         """Split the payload and produce all ``n = k + m`` chunks."""
         blocks, original = pad_and_split(payload, self.code.params.k, self.alignment)
-        chunks = blocks + self.code.encode(blocks)
+        chunks = blocks + self.code.encode_fast(blocks)
         return EncodedPayload(
             chunks=chunks,
             original_length=original,
@@ -96,5 +100,5 @@ class BlockEncoder:
             raise DecodeError(
                 f"need {self.code.params.k} chunks, got {len(available)}"
             )
-        blocks = self.code.decode(available)
+        blocks = self.code.decode_fast(available)
         return reassemble(blocks, original_length)

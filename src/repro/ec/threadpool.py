@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import CodeConfigError
 from repro.ec.base import ErasureCode
+from repro.ec.kernels import range_alignment
 
 
 @dataclass
@@ -28,6 +29,7 @@ class EncodeStats:
     sub_tasks: int
     bytes_encoded: int
     threads: int
+    fast_path: bool = False
 
 
 class ThreadPoolEncoder:
@@ -55,8 +57,14 @@ class ThreadPoolEncoder:
         self.last_stats: EncodeStats | None = None
 
     def _split_ranges(self, block_size: int) -> list[tuple[int, int]]:
-        """Byte ranges (aligned for w=16) covering ``block_size``."""
-        word = 2 if self.code.params.w == 16 else 1
+        """Byte ranges covering ``block_size``, aligned to the kernel word.
+
+        Boundaries honour :func:`repro.ec.kernels.range_alignment` (8 bytes,
+        16 for w=16) so every sub-range — including the last, whenever the
+        block size itself is divisible by ``w`` — is a valid independent
+        input for the word-packed bitmatrix kernels.
+        """
+        word = range_alignment(self.code.params.w)
         target = max(self.min_subtask_bytes, block_size // self.threads)
         target = max(word, (target // word) * word)
         ranges = []
@@ -70,9 +78,25 @@ class ThreadPoolEncoder:
             start = end
         return ranges
 
+    def _can_fast_path(self, size: int) -> bool:
+        """True when the bitmatrix kernel path applies to this encode."""
+        return (
+            hasattr(self.code, "encode_bitmatrix_into")
+            and self.code.params.m > 0
+            and size > 0
+            and size % self.code.params.w == 0
+        )
+
     def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Parallel encode; returns ``m`` parity blocks, byte-identical to
-        ``code.encode(data_blocks)``."""
+        ``code.encode(data_blocks)``.
+
+        When the code exposes the bitmatrix kernel path
+        (:meth:`~repro.ec.cauchy.CauchyRSCode.encode_bitmatrix_into`) and the
+        block size is divisible by ``w``, each worker drives the compiled
+        schedule over its sub-range and writes parity bytes directly into
+        views of the preallocated output blocks — no per-range temporaries.
+        """
         blocks = [np.ascontiguousarray(b, dtype=np.uint8).ravel() for b in data_blocks]
         if len(blocks) != self.code.params.k:
             raise CodeConfigError(
@@ -82,13 +106,25 @@ class ThreadPoolEncoder:
         if any(b.nbytes != size for b in blocks):
             raise CodeConfigError("data blocks differ in size")
         ranges = self._split_ranges(size)
-        parity = [np.zeros(size, dtype=np.uint8) for _ in range(self.code.params.m)]
+        parity = [np.empty(size, dtype=np.uint8) for _ in range(self.code.params.m)]
+        fast = self._can_fast_path(size)
 
-        def encode_range(rng: tuple[int, int]) -> None:
-            start, end = rng
-            sub_parity = self.code.encode([b[start:end] for b in blocks])
-            for out, piece in zip(parity, sub_parity):
-                out[start:end] = piece
+        if fast:
+
+            def encode_range(rng: tuple[int, int]) -> None:
+                start, end = rng
+                self.code.encode_bitmatrix_into(
+                    [b[start:end] for b in blocks],
+                    [out[start:end] for out in parity],
+                )
+
+        else:
+
+            def encode_range(rng: tuple[int, int]) -> None:
+                start, end = rng
+                sub_parity = self.code.encode([b[start:end] for b in blocks])
+                for out, piece in zip(parity, sub_parity):
+                    out[start:end] = piece
 
         if self.threads == 1 or len(ranges) == 1:
             for rng in ranges:
@@ -97,6 +133,9 @@ class ThreadPoolEncoder:
             with ThreadPoolExecutor(max_workers=self.threads) as pool:
                 list(pool.map(encode_range, ranges))
         self.last_stats = EncodeStats(
-            sub_tasks=len(ranges), bytes_encoded=size * len(blocks), threads=self.threads
+            sub_tasks=len(ranges),
+            bytes_encoded=size * len(blocks),
+            threads=self.threads,
+            fast_path=fast,
         )
         return parity

@@ -19,6 +19,36 @@ from repro.errors import MatrixError
 from repro.gf.field import GF
 
 
+# All w x w element bitmatrices of a field, built once per word size and
+# fancy-indexed afterwards (bitmatrix expansion sits on the schedule-compile
+# and decode paths, where it used to dominate with per-element Python loops).
+_ELEMENT_TABLES: dict[int, np.ndarray] = {}
+
+
+def element_bitmatrix_table(field: GF) -> np.ndarray:
+    """A ``(2^w, w, w)`` table: entry ``e`` is the bitmatrix of ``e``.
+
+    Built lazily, once per field, by rotating one vectorised column at a
+    time: column ``j`` of every element's matrix holds the bits of
+    ``e * 2^j``, so ``w`` ``mul_array`` passes over all ``2^w`` elements
+    produce the whole table.
+    """
+    table = _ELEMENT_TABLES.get(field.w)
+    if table is None:
+        w = field.w
+        table = np.zeros((field.size, w, w), dtype=np.uint8)
+        col = np.arange(field.size, dtype=np.uint32)  # e * 2^0
+        two = np.full(field.size, 2, dtype=np.uint32)
+        shifts = np.arange(w, dtype=np.uint32)
+        for j in range(w):
+            table[:, :, j] = (col[:, None] >> shifts[None, :]) & 1
+            if j + 1 < w:  # GF(2) has no element 2; skip the dead last pass
+                col = field.mul_array(col, two)
+        table.setflags(write=False)
+        _ELEMENT_TABLES[field.w] = table
+    return table
+
+
 def bitmatrix_from_element(e: int, field: GF) -> np.ndarray:
     """The ``w x w`` binary matrix representing multiplication by ``e``.
 
@@ -26,14 +56,9 @@ def bitmatrix_from_element(e: int, field: GF) -> np.ndarray:
     ``B(e) @ bits(v) == bits(e * v)`` over GF(2) for every field element
     ``v``.
     """
-    w = field.w
-    out = np.zeros((w, w), dtype=np.uint8)
-    value = e
-    for j in range(w):
-        for i in range(w):
-            out[i, j] = (value >> i) & 1
-        value = field.mul(value, 2)
-    return out
+    if not 0 <= e < field.size:
+        raise MatrixError(f"element {e} out of range for GF(2^{field.w})")
+    return element_bitmatrix_table(field)[e].copy()
 
 
 def bitmatrix_from_matrix(mat: np.ndarray, field: GF) -> np.ndarray:
@@ -43,22 +68,32 @@ def bitmatrix_from_matrix(mat: np.ndarray, field: GF) -> np.ndarray:
         raise MatrixError(f"expected a 2-D matrix, got shape {mat.shape}")
     rows, cols = mat.shape
     w = field.w
-    out = np.zeros((rows * w, cols * w), dtype=np.uint8)
-    for i in range(rows):
-        for j in range(cols):
-            out[i * w : (i + 1) * w, j * w : (j + 1) * w] = bitmatrix_from_element(
-                int(mat[i, j]), field
-            )
-    return out
+    # (rows, cols, w, w) gather, then interleave the bit axes into place.
+    expanded = element_bitmatrix_table(field)[mat]
+    return np.ascontiguousarray(
+        expanded.transpose(0, 2, 1, 3).reshape(rows * w, cols * w)
+    )
 
 
 def bitmatrix_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Binary matrix product over GF(2)."""
-    a = np.asarray(a, dtype=np.uint8)
-    b = np.asarray(b, dtype=np.uint8)
-    if a.shape[1] != b.shape[0]:
+    """Binary matrix product over GF(2).
+
+    Row ``i`` of the product is the XOR of the rows of ``b`` selected by
+    row ``i`` of ``a`` — computed with boolean XOR-reduction, so there is
+    no integer product matrix to overflow and no ``% 2`` pass.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise MatrixError(f"shape mismatch: {a.shape} @ {b.shape}")
-    return (a.astype(np.uint32) @ b.astype(np.uint32) % 2).astype(np.uint8)
+    a_rows = a != 0
+    b_bool = b != 0
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        selected = b_bool[a_rows[i]]
+        if selected.shape[0]:
+            out[i] = np.bitwise_xor.reduce(selected, axis=0)
+    return out
 
 
 def bitmatrix_rank(mat: np.ndarray) -> int:

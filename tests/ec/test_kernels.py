@@ -1,0 +1,181 @@
+"""Tests for the word-packed GF(2) kernel layer (repro.ec.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodeConfigError
+from repro.ec.base import CodeParams
+from repro.ec.cauchy import CauchyRSCode, cached_parity_bitmatrix
+from repro.ec.kernels import (
+    DEFAULT_CHUNK_BYTES,
+    WORD_BYTES,
+    apply_schedule_blocks,
+    decompose_into,
+    padded_row_bytes,
+    range_alignment,
+    recompose_into,
+    run_compiled_ops,
+    schedule_workspace_rows,
+    strip_bytes_for,
+    xor_reduce_arrays,
+    xor_reduce_into,
+)
+from repro.ec.schedule import dumb_schedule, paar_schedule, smart_schedule
+
+
+ALL_W = [1, 2, 4, 8, 16]
+
+
+def _roundtrip(w: int, n_bytes: int, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    # Repo convention (see GF._region_table): for w < 8 each byte holds one
+    # w-bit field element, high bits zero.
+    top = 256 if w >= 8 else 1 << w
+    block = rng.integers(0, top, size=n_bytes, dtype=np.uint8)
+    strip = strip_bytes_for(n_bytes, w)
+    rows = np.empty((w, padded_row_bytes(strip)), dtype=np.uint8)
+    decompose_into(block, w, rows)
+    out = np.empty(n_bytes, dtype=np.uint8)
+    recompose_into(rows, w, out)
+    assert np.array_equal(out, block)
+
+
+@pytest.mark.parametrize("w", ALL_W)
+def test_decompose_recompose_roundtrip(w):
+    word = 2 if w == 16 else 1
+    for n in (word, 8 * word, 13 * word, 52 * word, 1000 * word, 4096 * word):
+        _roundtrip(w, n, seed=w * 1000 + n)
+
+
+@pytest.mark.parametrize("w", ALL_W)
+def test_roundtrip_sizes_not_multiple_of_packing(w):
+    # Sizes whose strips end mid-byte exercise the packbits padding bits.
+    word = 2 if w == 16 else 1
+    for n_words in (1, 3, 7, 9, 15, 17, 63):
+        _roundtrip(w, n_words * word, seed=n_words)
+
+
+def test_decompose_rejects_unsupported_w():
+    rows = np.empty((3, 8), dtype=np.uint8)
+    with pytest.raises(CodeConfigError):
+        decompose_into(np.zeros(24, dtype=np.uint8), 3, rows)
+    with pytest.raises(CodeConfigError):
+        recompose_into(rows, 3, np.zeros(24, dtype=np.uint8))
+
+
+def test_range_alignment():
+    assert range_alignment(16) == 16
+    for w in (1, 2, 4, 8):
+        assert range_alignment(w) == WORD_BYTES
+    assert DEFAULT_CHUNK_BYTES % range_alignment(16) == 0
+
+
+def test_strip_bytes_for():
+    assert strip_bytes_for(64, 8) == 8
+    assert strip_bytes_for(13, 8) == 2
+    assert strip_bytes_for(64, 16) == 4
+    assert strip_bytes_for(64, 1) == 8
+
+
+@pytest.mark.parametrize("w", [4, 8])
+def test_chunk_size_independence(w):
+    """Encoding must not depend on the cache-blocking chunk size."""
+    code = CauchyRSCode(CodeParams(k=4, m=2, w=w))
+    rng = np.random.default_rng(7)
+    size = 96 * 1024 + 8 * w  # not a multiple of any chunk size below
+    blocks = [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(4)]
+    want = code.encode(blocks)
+    for chunk in (1024, 8192, 40960, DEFAULT_CHUNK_BYTES, 2 * size):
+        got = code.encode_bitmatrix(blocks, chunk_bytes=chunk)
+        for a, b in zip(got, want):
+            assert np.array_equal(a, b), f"chunk_bytes={chunk} diverged"
+
+
+def test_apply_schedule_blocks_rejects_misaligned_size():
+    ops = []
+    # 24 bytes: a multiple of w=8 but not of w=16.
+    blocks = [np.zeros(24, dtype=np.uint8) for _ in range(2)]
+    out = [np.zeros(24, dtype=np.uint8)]
+    with pytest.raises(CodeConfigError):
+        apply_schedule_blocks(ops, blocks, out, 16)
+    apply_schedule_blocks(ops, blocks, out, 8)
+    # 13 bytes is not a multiple of w=8 either; callers fall back to the
+    # field path for such sizes (see ThreadPoolEncoder._can_fast_path).
+    odd = [np.zeros(13, dtype=np.uint8) for _ in range(2)]
+    with pytest.raises(CodeConfigError):
+        apply_schedule_blocks(ops, odd, [np.zeros(13, dtype=np.uint8)], 8)
+
+
+@pytest.mark.parametrize("compiler", [dumb_schedule, smart_schedule, paar_schedule])
+def test_schedule_compilers_agree(compiler):
+    """All compilers produce byte-identical parity through the kernels."""
+    code = CauchyRSCode(CodeParams(k=6, m=3, w=8))
+    bm = cached_parity_bitmatrix(code)
+    sched = compiler(bm, 6, 3, 8)
+    rng = np.random.default_rng(11)
+    blocks = [rng.integers(0, 256, size=4096, dtype=np.uint8) for _ in range(6)]
+    out = [np.empty(4096, dtype=np.uint8) for _ in range(3)]
+    apply_schedule_blocks(sched.compiled_ops(), blocks, out, 8, 1024)
+    want = code.encode(blocks)
+    for a, b in zip(out, want):
+        assert np.array_equal(a, b)
+
+
+def test_paar_schedule_reduces_xors_and_uses_temps():
+    code = CauchyRSCode(CodeParams(k=12, m=4, w=8))
+    bm = cached_parity_bitmatrix(code)
+    dumb = dumb_schedule(bm, 12, 4, 8)
+    paar = paar_schedule(bm, 12, 4, 8)
+    assert paar.n_temps > 0
+    assert paar.total_xors < dumb.total_xors
+    # Temps address rows past the block strips, and the workspace sizing
+    # helper accounts for them (including through batched slice ops).
+    rows = schedule_workspace_rows(paar.compiled_ops(), (12 + 4) * 8)
+    assert rows == (12 + 4) * 8 + paar.n_temps
+
+
+def test_batched_ops_match_scalar_execution():
+    """The level-batched lowering must equal op-by-op execution."""
+    code = CauchyRSCode(CodeParams(k=8, m=4, w=8))
+    bm = cached_parity_bitmatrix(code)
+    sched = paar_schedule(bm, 8, 4, 8)
+    compiled = sched.compiled_ops()
+    assert any(type(dest) is slice for dest, _ in compiled), (
+        "expected at least one batched level in a Paar schedule"
+    )
+    # Scalar reference: expand every batched op back into per-row ops.
+    scalar_ops = []
+    for dest, srcs in compiled:
+        if type(dest) is slice:
+            a, b = srcs
+            for i, d in enumerate(range(dest.start, dest.stop)):
+                scalar_ops.append((d, np.asarray([a[i], b[i]], dtype=np.intp)))
+        else:
+            scalar_ops.append((dest, srcs))
+    n_rows = schedule_workspace_rows(compiled, (8 + 4) * 8)
+    rng = np.random.default_rng(3)
+    work_a = rng.integers(0, 256, size=(n_rows, 64), dtype=np.uint8)
+    work_b = work_a.copy()
+    run_compiled_ops(work_a.view(np.uint64), compiled)
+    run_compiled_ops(work_b.view(np.uint64), scalar_ops)
+    assert np.array_equal(work_a, work_b)
+
+
+def test_xor_reduce_helpers():
+    rng = np.random.default_rng(5)
+    arrays = [rng.integers(0, 256, size=104, dtype=np.uint8) for _ in range(5)]
+    want = arrays[0].copy()
+    for a in arrays[1:]:
+        want ^= a
+    assert np.array_equal(xor_reduce_arrays(arrays), want)
+
+    acc = arrays[0].copy()
+    xor_reduce_into(acc, arrays[1:])
+    assert np.array_equal(acc, want)
+
+    # Non-word-multiple sizes fall back to the byte path but stay correct.
+    odd = [a[:13].copy() for a in arrays]
+    want_odd = odd[0].copy()
+    for a in odd[1:]:
+        want_odd ^= a
+    assert np.array_equal(xor_reduce_arrays(odd), want_odd)

@@ -57,7 +57,10 @@ def test_smaller_flows_finish_no_later(sizes):
     sim.run()
     ordered = sorted(flows, key=lambda p: p[0])
     times = [f.finish_time for _, f in ordered]
-    assert times == sorted(times)
+    # Equal-size flows can finish at times differing by float rounding, so
+    # the order check needs a relative tolerance, not exact comparison.
+    tol = 1e-9 * max(times)
+    assert all(a <= b + tol for a, b in zip(times, times[1:]))
 
 
 @given(
