@@ -62,7 +62,7 @@ def main() -> None:
     print(f"  {len(events)} failures in {duration / 24:.0f} days "
           f"(Llama 3.1 reported 419)")
     for window in (0.5, 1.0, 3.0):
-        counts = concurrent_failure_counts(events, window)
+        counts = concurrent_failure_counts(events, window, duration_hours=duration)
         multi = sum(1 for c in counts if c >= 2)
         print(f"  windows of {window:.1f}h with >= 2 failures: {multi} "
               f"({100 * multi / len(counts):.1f}% of windows)")

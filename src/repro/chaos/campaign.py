@@ -1,0 +1,412 @@
+"""Seeded chaos campaigns: randomized save/crash/restore/resume episodes.
+
+One *episode* builds a fresh testbed job (4 nodes x 2 GPUs, TP=2 / PP=4)
+plus one engine and runs a few rounds of:
+
+1. train and checkpoint through a :class:`CheckpointManager`, recording a
+   deep snapshot of the exact bytes each committed version captured;
+2. optionally arm a :class:`~repro.chaos.injection.CrashInjector` on one
+   of the engine's crash points and let a save abort mid-flight, leaving
+   a genuine torn version;
+3. optionally corrupt a stored chunk packet in place (silent bit rot);
+4. sample node failures (independent / rack-correlated / Poisson-trace /
+   targeted — or a pure crash-restart with no machine loss);
+5. consult the independent :mod:`~repro.chaos.invariants` oracle for what
+   a correct engine must do, then run ``manager.on_failure`` and check
+   every invariant: restored ``state_dict``s bit-identical, torn versions
+   never restored, redundancy re-established, lost-work accounting exact.
+
+Every random draw flows from ``default_rng([seed, episode])``, so a
+campaign is reproducible draw-for-draw and a fixed seed can gate CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RecoveryError
+from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
+from repro.chaos.invariants import (
+    check_redundancy,
+    check_restored_states,
+    expected_outcome,
+)
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.replication import GeminiReplicationEngine
+from repro.checkpoint.sync_remote import SyncRemoteEngine
+from repro.checkpoint.two_phase import TwoPhaseEngine
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.core.integrity import corrupt_buffer
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.sim.failures import (
+    concurrent_failure_counts,
+    poisson_failure_trace,
+    sample_correlated_failures,
+    sample_node_failures,
+)
+
+ENGINES = ("eccheck", "base1", "base2", "base3")
+
+#: Probability knobs of one round (module-level so tests can reason about
+#: coverage; the rng stream, not these values, carries the determinism).
+P_CRASH = 0.6
+P_CORRUPT = 0.3
+FAILURE_MODES = ("none", "independent", "correlated", "poisson", "targeted")
+FAILURE_MODE_WEIGHTS = (0.15, 0.25, 0.15, 0.20, 0.25)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Campaign parameters (defaults = the CI smoke shape)."""
+
+    episodes: int = 50
+    seed: int = 0
+    engines: tuple[str, ...] = ENGINES
+    max_rounds: int = 3
+    model: str = "gpt2-h1024-L16"
+    scale: float = 5e-4
+
+
+@dataclass
+class EpisodeResult:
+    """One episode's recovery cycles and any invariant violations."""
+
+    episode: int
+    engine: str
+    cycles: list[dict] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CampaignReport:
+    """All episode results plus the crash x failure x corruption matrix."""
+
+    config: ChaosConfig
+    episodes: list[EpisodeResult]
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"episode {e.episode} ({e.engine}): {v}"
+            for e in self.episodes
+            for v in e.violations
+        ]
+
+    @property
+    def cycles(self) -> list[dict]:
+        return [c for e in self.episodes for c in e.cycles]
+
+    def outcome_matrix(self) -> dict[str, dict[str, int]]:
+        """``"crash_point/failures/corruption" -> {outcome: count}``."""
+        matrix: dict[str, dict[str, int]] = {}
+        for cycle in self.cycles:
+            key = (
+                f"{cycle['crash_point'] or '-'}"
+                f"/f{cycle['num_failed']}"
+                f"/{'corrupt' if cycle['corrupted'] else 'clean'}"
+            )
+            row = matrix.setdefault(key, {})
+            row[cycle["outcome"]] = row.get(cycle["outcome"], 0) + 1
+        return {key: matrix[key] for key in sorted(matrix)}
+
+    def to_dict(self) -> dict:
+        return {
+            "config": {
+                "episodes": self.config.episodes,
+                "seed": self.config.seed,
+                "engines": list(self.config.engines),
+                "max_rounds": self.config.max_rounds,
+                "model": self.config.model,
+                "scale": self.config.scale,
+            },
+            "total_recovery_cycles": len(self.cycles),
+            "outcome_matrix": self.outcome_matrix(),
+            "violations": self.violations,
+            "episodes": [
+                {
+                    "episode": e.episode,
+                    "engine": e.engine,
+                    "cycles": e.cycles,
+                    "violations": e.violations,
+                }
+                for e in self.episodes
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """ASCII summary: the outcome matrix plus the violation count."""
+        lines = [
+            f"chaos campaign: {len(self.episodes)} episodes, "
+            f"{len(self.cycles)} recovery cycles, "
+            f"{len(self.violations)} violations",
+            f"{'crash point / failures / corruption':<42s} "
+            f"{'memory':>7s} {'backup':>7s} {'refused':>8s} {'error':>6s}",
+        ]
+        for key, row in self.outcome_matrix().items():
+            lines.append(
+                f"{key:<42s} {row.get('memory', 0):>7d} "
+                f"{row.get('backup', 0):>7d} {row.get('refused', 0):>8d} "
+                f"{row.get('engine_error', 0):>6d}"
+            )
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _build_engine(engine_name: str, config: ChaosConfig, job_seed: int):
+    job = TrainingJob.create(
+        model=config.model,
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=config.scale,
+        seed=job_seed,
+    )
+    if engine_name == "eccheck":
+        return job, ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
+    if engine_name == "base1":
+        return job, SyncRemoteEngine(job)
+    if engine_name == "base2":
+        return job, TwoPhaseEngine(job)
+    if engine_name == "base3":
+        return job, GeminiReplicationEngine(job, group_size=2)
+    raise ValueError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+
+
+def _sample_failures(mode: str, job, rng: np.random.Generator) -> set[int]:
+    n = job.cluster.num_nodes
+    if mode == "none":
+        return set()
+    if mode == "independent":
+        return sample_node_failures(n, 0.3, rng)
+    if mode == "correlated":
+        return sample_correlated_failures(job.cluster, 0.2, 0.15, rng)
+    if mode == "poisson":
+        # A day-long fleet trace; one window's concurrent-failure count
+        # becomes this round's simultaneous loss.
+        trace = poisson_failure_trace(
+            n, mtbf_hours=float(rng.uniform(20.0, 120.0)),
+            duration_hours=24.0, rng=rng,
+        )
+        counts = concurrent_failure_counts(trace, 1.0, duration_hours=24.0)
+        count = min(n, counts[int(rng.integers(len(counts)))])
+        return {int(x) for x in rng.choice(n, size=count, replace=False)}
+    if mode == "targeted":
+        size = int(rng.integers(1, n))
+        return {int(x) for x in rng.choice(n, size=size, replace=False)}
+    raise ValueError(f"unknown failure mode {mode!r}")
+
+
+def _corrupt_random_chunk(engine, rng: np.random.Generator) -> str | None:
+    """Flip bits in one stored chunk packet; returns a description."""
+    candidates = []
+    for node in range(engine.job.cluster.num_nodes):
+        for key in engine.host.keys(node):
+            if isinstance(key, tuple) and key[0] == "chunk":
+                candidates.append((node, key))
+    if not candidates:
+        return None
+    candidates.sort(key=repr)
+    node, key = candidates[int(rng.integers(len(candidates)))]
+    payload = engine.host.get(node, key)
+    corrupt_buffer(
+        payload,
+        byte_index=int(rng.integers(payload.size)),
+        mask=int(rng.integers(1, 256)),
+    )
+    return f"node {node} {key}"
+
+
+# ----------------------------------------------------------------------
+def run_episode(
+    engine_name: str,
+    episode: int,
+    config: ChaosConfig,
+) -> EpisodeResult:
+    """One seeded save/crash/restore/resume episode against one engine."""
+    rng = np.random.default_rng([config.seed, episode])
+    result = EpisodeResult(episode=episode, engine=engine_name)
+    job, engine = _build_engine(
+        engine_name, config, job_seed=config.seed * 7919 + episode
+    )
+    backup_every = (
+        int(rng.choice([0, 2])) if engine_name == "eccheck" else 0
+    )
+    manager = CheckpointManager(
+        job, engine, interval=1, remote_backup_every=backup_every
+    )
+
+    version_states: dict[int, dict] = {}
+    version_iteration: dict[int, int] = {}
+    torn_versions: set[int] = set()
+    drained_saves = 0
+    drained_backups = 0
+
+    def drain_reports() -> None:
+        nonlocal drained_saves, drained_backups
+        fresh = (
+            manager.stats.save_reports[drained_saves:]
+            + manager.stats.backup_reports[drained_backups:]
+        )
+        drained_saves = len(manager.stats.save_reports)
+        drained_backups = len(manager.stats.backup_reports)
+        for report in fresh:
+            # The snapshot is taken right after the committing step, before
+            # training advances, so it equals the bytes the save captured.
+            version_states.setdefault(report.version, job.snapshot_states())
+            version_iteration.setdefault(
+                report.version,
+                manager._checkpoint_iteration_of_version[report.version],
+            )
+
+    rounds = int(rng.integers(1, config.max_rounds + 1))
+    for _ in range(rounds):
+        # -- train + checkpoint -----------------------------------------
+        for _ in range(int(rng.integers(1, 4))):
+            job.advance()
+            manager.step()
+            drain_reports()
+
+        # -- maybe crash a save mid-flight ------------------------------
+        crash_point = None
+        if engine.crash_points and rng.random() < P_CRASH:
+            point = str(rng.choice(engine.crash_points))
+            plan = CrashPlan(point=point, after=int(rng.integers(0, 3)))
+            job.advance()
+            engine.crash_injector = CrashInjector(plan)
+            try:
+                manager.step()
+            except InjectedCrash:
+                crash_point = point
+                torn_versions.add(engine.version)
+            finally:
+                injector, engine.crash_injector = engine.crash_injector, None
+            if crash_point is None:
+                # The planned hit count exceeded the point's actual hits
+                # (e.g. ``after=2`` on a once-per-save point): the save
+                # completed normally.
+                assert not injector.fired
+                drain_reports()
+
+        # -- maybe rot a stored chunk -----------------------------------
+        corrupted = None
+        if engine_name == "eccheck" and rng.random() < P_CORRUPT:
+            corrupted = _corrupt_random_chunk(engine, rng)
+
+        # -- sample a failure -------------------------------------------
+        mode = str(
+            rng.choice(FAILURE_MODES, p=FAILURE_MODE_WEIGHTS)
+        )
+        failed = _sample_failures(mode, job, rng)
+        failed = {n for n in failed if n < job.cluster.num_nodes}
+        if not failed and crash_point is None and corrupted is None:
+            continue  # nothing happened this round
+        # A crash with no machine loss is a pure process restart; recovery
+        # still runs (GPU state must be reloaded and torn versions walked
+        # back).  Corruption without crash/failure also forces a restart so
+        # the rot is exercised rather than silently overwritten.
+
+        # -- oracle, then recover ---------------------------------------
+        expected_kind, expected_version = expected_outcome(engine, failed)
+        at_iteration = job.iteration
+        lost_before = manager.stats.iterations_lost
+        cycle = {
+            "crash_point": crash_point,
+            "failure_mode": mode,
+            "num_failed": len(failed),
+            "corrupted": corrupted is not None,
+            "expected": expected_kind,
+        }
+        try:
+            report = manager.on_failure(failed)
+        except RecoveryError as exc:
+            cycle["outcome"] = "refused"
+            result.cycles.append(cycle)
+            if expected_kind != "refused":
+                result.violations.append(
+                    f"refused recovery although v{expected_version} was "
+                    f"recoverable from {expected_kind} "
+                    f"(failed={sorted(failed)}, crash={crash_point}): {exc}"
+                )
+            break  # the job is down; the episode ends here
+        except Exception as exc:  # noqa: BLE001 — any leak is a finding
+            cycle["outcome"] = "engine_error"
+            result.cycles.append(cycle)
+            result.violations.append(
+                f"recovery raised {type(exc).__name__} instead of "
+                f"recovering or refusing cleanly "
+                f"(failed={sorted(failed)}, crash={crash_point}): {exc}"
+            )
+            break
+
+        outcome = "backup" if report.bytes_from_remote > 0 else "memory"
+        cycle["outcome"] = outcome
+        cycle["version"] = report.version
+        result.cycles.append(cycle)
+
+        if expected_kind == "refused":
+            result.violations.append(
+                f"engine restored v{report.version} although the oracle "
+                f"found no recoverable version (failed={sorted(failed)})"
+            )
+            break
+        if outcome != expected_kind or report.version != expected_version:
+            result.violations.append(
+                f"restored v{report.version} from {outcome}, expected "
+                f"v{expected_version} from {expected_kind} "
+                f"(failed={sorted(failed)}, crash={crash_point})"
+            )
+        if report.version in torn_versions:
+            result.violations.append(
+                f"restored torn version v{report.version} "
+                f"(crash={crash_point}, failed={sorted(failed)})"
+            )
+        if report.version not in version_states:
+            result.violations.append(
+                f"restored v{report.version}, a version no completed save "
+                f"ever committed"
+            )
+        else:
+            result.violations.extend(
+                check_restored_states(job, version_states[report.version])
+            )
+            result.violations.extend(
+                check_redundancy(
+                    engine, report.version, from_backup=outcome == "backup"
+                )
+            )
+            expected_lost = max(
+                0, at_iteration - version_iteration[report.version]
+            )
+            actual_lost = manager.stats.iterations_lost - lost_before
+            if actual_lost != expected_lost:
+                result.violations.append(
+                    f"iterations_lost accounted {actual_lost}, expected "
+                    f"{expected_lost} (at={at_iteration}, "
+                    f"restored v{report.version} @ "
+                    f"{version_iteration[report.version]})"
+                )
+            if job.iteration != version_iteration[report.version]:
+                result.violations.append(
+                    f"job resumed at iteration {job.iteration}, expected "
+                    f"{version_iteration[report.version]}"
+                )
+    return result
+
+
+def run_campaign(config: ChaosConfig | None = None) -> CampaignReport:
+    """Run ``config.episodes`` episodes, engines round-robin."""
+    config = config or ChaosConfig()
+    episodes = []
+    for episode in range(config.episodes):
+        engine_name = config.engines[episode % len(config.engines)]
+        episodes.append(run_episode(engine_name, episode, config))
+    return CampaignReport(config=config, episodes=episodes)

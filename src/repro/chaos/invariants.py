@@ -1,0 +1,249 @@
+"""Recoverability oracles and post-recovery invariant checks.
+
+Everything here re-derives, from raw storage contents only, what a
+correct engine *must* do — deliberately without calling the engines'
+own recovery helpers.  A campaign consults the oracle before asking the
+engine to restore; disagreement in either direction is a finding:
+
+* the engine refuses although the oracle proves a recoverable version
+  exists (lost availability), or
+* the engine "recovers" a version the oracle knows is torn or stale
+  (lost correctness — the failure mode the torn-version walk-back fixes).
+
+The oracle must run *before* ``restore`` is invoked: restoring wipes the
+failed nodes' host stores, and the oracle reads the same survivor state
+the engine will see.
+"""
+
+from __future__ import annotations
+
+from repro.core.integrity import verify_chunk
+from repro.tensors.state_dict import state_dicts_equal
+
+
+# ----------------------------------------------------------------------
+# Pre-restore oracles: which version *should* a correct engine restore?
+# ----------------------------------------------------------------------
+def eccheck_memory_version(engine, failed_nodes: set[int]) -> int | None:
+    """Newest in-memory version a correct ECCheck restore must accept.
+
+    A version qualifies when >= k chunks are whole on surviving nodes
+    (every reduction-group packet present and passing its CRC) and every
+    worker's metadata record is reachable on some survivor — the commit
+    rule.  Returns ``None`` when only the remote backup (or nothing) can
+    help.
+    """
+    plan = engine.placement
+    groups = len(plan.data_group[0])
+    survivors = [
+        n for n in range(engine.job.cluster.num_nodes) if n not in failed_nodes
+    ]
+    if not survivors:
+        return None
+
+    def chunk_whole(node: int, version: int, kind: str, idx: int) -> bool:
+        for r in range(groups):
+            key = ("chunk", version, kind, idx, r)
+            digest_key = ("digest", version, kind, idx, r)
+            if not (
+                engine.host.contains(node, key)
+                and engine.host.contains(node, digest_key)
+            ):
+                return False
+            if not verify_chunk(
+                engine.host.get(node, key), engine.host.get(node, digest_key)
+            ):
+                return False
+        return True
+
+    for version in range(engine.version, 0, -1):
+        whole = 0
+        for j, node in enumerate(plan.data_nodes):
+            if node in survivors and chunk_whole(node, version, "data", j):
+                whole += 1
+        for i, node in enumerate(plan.parity_nodes):
+            if node in survivors and chunk_whole(node, version, "parity", i):
+                whole += 1
+        if whole < plan.k:
+            continue
+        if all(
+            any(
+                engine.host.contains(node, ("meta", version, worker))
+                for node in survivors
+            )
+            for worker in range(engine.job.world_size)
+        ):
+            return version
+    return None
+
+
+def remote_complete_version(engine) -> int | None:
+    """Newest remote version holding every writer's blob (None if none)."""
+    for version in range(engine.version, 0, -1):
+        if all(
+            engine.remote.contains(("ckpt", version, worker))
+            for worker in engine.job.writers
+        ):
+            return version
+    return None
+
+
+def replication_memory_version(engine, failed_nodes: set[int]) -> int | None:
+    """Newest version a correct base3 restore must accept.
+
+    Requires a survivor in every replication group and the version fully
+    replicated across all survivors (full replication is base3's commit
+    record — a torn broadcast leaves some survivor without a peer's key).
+    """
+    groups = engine.groups()
+    if any(all(n in failed_nodes for n in g) for g in groups):
+        return None
+    writers = set(engine.job.writers)
+    for version in range(engine.version, 0, -1):
+        ok = True
+        for group in groups:
+            group_writers = [
+                w
+                for n in group
+                for w in engine.job.cluster.workers_of(n)
+                if w in writers
+            ]
+            for peer in group:
+                if peer in failed_nodes:
+                    continue
+                if not all(
+                    engine.host.contains(peer, ("ckpt", version, w))
+                    for w in group_writers
+                ):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            return version
+    return None
+
+
+def expected_outcome(engine, failed_nodes: set[int]) -> tuple[str, int | None]:
+    """(outcome, version) a correct engine must produce for this failure.
+
+    Outcome is ``"memory"``, ``"backup"`` or ``"refused"``; the version is
+    the exact checkpoint version the restore must land on (None when
+    refusing is correct).
+    """
+    name = engine.name
+    if name == "eccheck":
+        version = eccheck_memory_version(engine, failed_nodes)
+        if version is not None:
+            return "memory", version
+        backup = remote_complete_version(engine)
+        if backup is not None:
+            return "backup", backup
+        return "refused", None
+    if name == "base3":
+        version = replication_memory_version(engine, failed_nodes)
+        if version is not None:
+            return "memory", version
+        return "refused", None
+    if name in ("base1", "base2"):
+        version = remote_complete_version(engine)
+        if version is not None:
+            return "backup", version
+        return "refused", None
+    raise ValueError(f"no oracle for engine {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Post-recovery invariant checks.  Each returns a list of violation
+# strings (empty = invariant holds).
+# ----------------------------------------------------------------------
+def check_restored_states(job, expected_states: dict[int, dict]) -> list[str]:
+    """Every worker live again, bit-identical to the checkpointed state."""
+    violations = []
+    for worker in range(job.world_size):
+        state = job.state_dicts.get(worker)
+        if state is None:
+            violations.append(f"worker {worker} has no state after recovery")
+            continue
+        reference = expected_states.get(worker)
+        if reference is None:
+            continue  # non-writer replica of an FSDP-less layout
+        if not state_dicts_equal(state, reference):
+            violations.append(
+                f"worker {worker} state differs from the checkpointed bytes"
+            )
+    return violations
+
+
+def check_eccheck_redundancy(engine, version: int) -> list[str]:
+    """All k + m chunks whole and metadata on every node again."""
+    plan = engine.placement
+    groups = len(plan.data_group[0])
+    violations = []
+
+    def check_chunk(node: int, kind: str, idx: int) -> None:
+        for r in range(groups):
+            key = ("chunk", version, kind, idx, r)
+            digest_key = ("digest", version, kind, idx, r)
+            if not (
+                engine.host.contains(node, key)
+                and engine.host.contains(node, digest_key)
+            ):
+                violations.append(
+                    f"{kind} chunk {idx} packet {r} missing on node {node}"
+                )
+            elif not verify_chunk(
+                engine.host.get(node, key), engine.host.get(node, digest_key)
+            ):
+                violations.append(
+                    f"{kind} chunk {idx} packet {r} corrupt on node {node}"
+                )
+
+    for j, node in enumerate(plan.data_nodes):
+        check_chunk(node, "data", j)
+    for i, node in enumerate(plan.parity_nodes):
+        check_chunk(node, "parity", i)
+    for node in range(engine.job.cluster.num_nodes):
+        for worker in range(engine.job.world_size):
+            if not engine.host.contains(node, ("meta", version, worker)):
+                violations.append(
+                    f"metadata for worker {worker} missing on node {node}"
+                )
+    return violations
+
+
+def check_replication_redundancy(engine, version: int) -> list[str]:
+    """Every group member holds every group writer's snapshot again."""
+    writers = set(engine.job.writers)
+    violations = []
+    for group in engine.groups():
+        group_writers = [
+            w
+            for n in group
+            for w in engine.job.cluster.workers_of(n)
+            if w in writers
+        ]
+        for peer in group:
+            for worker in group_writers:
+                if not engine.host.contains(peer, ("ckpt", version, worker)):
+                    violations.append(
+                        f"replica of worker {worker} missing on node {peer}"
+                    )
+    return violations
+
+
+def check_redundancy(engine, version: int, from_backup: bool) -> list[str]:
+    """Dispatch the engine-appropriate redundancy check.
+
+    Backup restores rebuild GPU state but not the in-memory layout, so
+    redundancy is only asserted for in-memory recoveries; base1/base2
+    keep their redundancy in remote storage, already checked by the
+    oracle's completeness walk.
+    """
+    if from_backup:
+        return []
+    if engine.name == "eccheck":
+        return check_eccheck_redundancy(engine, version)
+    if engine.name == "base3":
+        return check_replication_redundancy(engine, version)
+    return []

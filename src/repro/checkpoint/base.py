@@ -74,12 +74,28 @@ class CheckpointEngine(ABC):
 
     name: str = "abstract"
 
+    #: Named crash points this engine's save flow exposes to fault
+    #: injection (see :mod:`repro.chaos.injection`).  Empty means the
+    #: engine has no injection hooks.
+    crash_points: tuple[str, ...] = ()
+
     def __init__(self, job: TrainingJob):
         self.job = job
         self.host = HostMemoryStore(job.cluster.num_nodes)
         self.remote = RemoteStorage()
         self.network = ClusterNetwork(job.cluster.num_nodes, job.time_model)
         self.version = 0
+        #: When set (a callable ``(point, **context)``), the save flow
+        #: consults it at every crash point; the callable may raise
+        #: :class:`~repro.chaos.injection.InjectedCrash` to abort the save
+        #: mid-flight, leaving a genuine torn version behind.
+        self.crash_injector = None
+
+    def _fire(self, point: str, **context) -> None:
+        """Consult the armed crash injector (no-op when unarmed)."""
+        injector = self.crash_injector
+        if injector is not None:
+            injector(point, **context)
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -142,6 +158,23 @@ class CheckpointEngine(ABC):
         result = self.network.simulate(requests)
         return result.makespan, total
 
+    def _latest_complete_remote_version(self) -> int | None:
+        """Newest version with every writer's blob present in remote storage.
+
+        A crash can interrupt a remote persist after some workers' blobs
+        landed and others did not; such a torn remote version must never
+        be restored.  Walks back from the engine's version counter to the
+        newest version all writers completed, or ``None`` if no complete
+        remote checkpoint exists.
+        """
+        for version in range(self.version, 0, -1):
+            if all(
+                self.remote.contains(("ckpt", version, worker))
+                for worker in self.job.writers
+            ):
+                return version
+        return None
+
     def _restore_all_from_remote(self, version: int) -> tuple[float, int]:
         """Load every writer's state from remote; replicas copy from peers.
 
@@ -170,11 +203,18 @@ class CheckpointEngine(ABC):
             )
         self._restore_dp_replicas()
         result = self.network.simulate(requests)
+        tm = self.job.time_model
         deserialize = max(
-            self.job.time_model.deserialize_time(self.job.logical_shard_bytes(w))
+            tm.deserialize_time(self.job.logical_shard_bytes(w))
             for w in self.job.writers
         )
-        return result.makespan + deserialize, total
+        # Deserialized state still has to reach the GPUs before training
+        # can resume: bill the host-to-device copy.
+        htod = max(
+            tm.htod_time(self.job.logical_shard_bytes(w))
+            for w in self.job.writers
+        )
+        return result.makespan + deserialize + htod, total
 
     def _restore_dp_replicas(self) -> None:
         """Copy restored writer state onto data-parallel replicas.

@@ -43,6 +43,7 @@ class ManagerStats:
     total_stall_s: float = 0.0
     total_checkpoint_s: float = 0.0
     save_reports: list = field(default_factory=list)
+    backup_reports: list = field(default_factory=list)
 
 
 class CheckpointManager:
@@ -132,6 +133,7 @@ class CheckpointManager:
         ):
             backup = self.engine.save_remote_backup()  # type: ignore[attr-defined]
             self.stats.remote_backups += 1
+            self.stats.backup_reports.append(backup)
             self._checkpoint_iteration_of_version[backup.version] = self.job.iteration
         return True
 

@@ -30,6 +30,10 @@ class GeminiReplicationEngine(CheckpointEngine):
 
     name = "base3"
 
+    #: Fault injection: after all snapshots landed on their own nodes
+    #: (no replication yet) and before each peer broadcast.
+    crash_points = ("post_snapshot", "mid_broadcast")
+
     def __init__(self, job: TrainingJob, group_size: int = 2):
         super().__init__(job)
         if group_size < 2:
@@ -70,6 +74,7 @@ class GeminiReplicationEngine(CheckpointEngine):
             bytes_dtoh += logical
             dtoh_times.append(tm.dtoh_time(logical))
         stall = max(dtoh_times)
+        self._fire("post_snapshot", version=self.version)
 
         # Broadcast each node's data to its group peers.
         requests = []
@@ -80,6 +85,9 @@ class GeminiReplicationEngine(CheckpointEngine):
                 for peer in group:
                     if peer == node:
                         continue
+                    self._fire(
+                        "mid_broadcast", version=self.version, src=node, dst=peer
+                    )
                     for worker in self.job.cluster.workers_of(node):
                         if worker not in writers:
                             continue
@@ -106,31 +114,79 @@ class GeminiReplicationEngine(CheckpointEngine):
         )
 
     # ------------------------------------------------------------------
+    def _version_recoverable(self, version: int, failed_nodes: set[int]) -> bool:
+        """True iff ``version`` is fully replicated on the survivors.
+
+        A crash during :meth:`save` (``post_snapshot`` / ``mid_broadcast``)
+        leaves a torn version: some nodes hold only their own snapshot.
+        Replication completing everywhere is the commit record, so a
+        version only counts when every surviving group member holds every
+        group writer's snapshot — a torn broadcast always leaves at least
+        one survivor missing a peer's key.
+        """
+        writers = set(self.job.writers)
+        for group in self.groups():
+            survivors = [n for n in group if n not in failed_nodes]
+            if not survivors:
+                return False
+            group_writers = [
+                w
+                for n in group
+                for w in self.job.cluster.workers_of(n)
+                if w in writers
+            ]
+            for peer in survivors:
+                for worker in group_writers:
+                    if not self.host.contains(peer, ("ckpt", version, worker)):
+                        return False
+        return True
+
     def restore(self, failed_nodes: set[int]) -> RecoveryReport:
         self.on_failure(failed_nodes)
-        version = self.latest_version()
+        latest = self.latest_version()
         tm = self.job.time_model
 
         # Feasibility: every failed node needs a surviving group peer.
-        source_of: dict[int, int] = {}
         for node in failed_nodes:
-            survivors = [
-                peer for peer in self.group_of(node) if peer not in failed_nodes
-            ]
-            if not survivors:
+            if all(peer in failed_nodes for peer in self.group_of(node)):
                 raise RecoveryError(
                     f"replication group {self.group_of(node)} lost every "
                     f"member; base3 cannot recover in-memory"
                 )
-            source_of[node] = survivors[0]
+
+        # Walk back past torn versions to the newest fully replicated one.
+        version = next(
+            (
+                v
+                for v in range(latest, 0, -1)
+                if self._version_recoverable(v, failed_nodes)
+            ),
+            None,
+        )
+        if version is None:
+            raise RecoveryError(
+                f"{self.name}: no fully replicated checkpoint version "
+                f"survives failures {sorted(failed_nodes)}"
+            )
+
+        source_of: dict[int, int] = {
+            node: next(
+                peer
+                for peer in self.group_of(node)
+                if peer not in failed_nodes
+            )
+            for node in failed_nodes
+        }
 
         writers = set(self.job.writers)
         requests = []
         bytes_inter_node = 0
         local_copy_times = [0.0]
+        htod_times = [0.0]
         for worker in self.job.writers:
             node = self.job.node_of(worker)
             logical = self.job.logical_shard_bytes(worker)
+            htod_times.append(tm.htod_time(logical))
             if node in failed_nodes:
                 source = source_of[node]
                 snapshot = self.host.get(source, ("ckpt", version, worker))
@@ -148,7 +204,8 @@ class GeminiReplicationEngine(CheckpointEngine):
             )
         self._restore_dp_replicas()
         transfer = self.network.simulate(requests).makespan if requests else 0.0
-        recovery_time = max(transfer, max(local_copy_times))
+        htod = max(htod_times)
+        recovery_time = max(transfer, max(local_copy_times)) + htod
 
         # Restore redundancy: replaced nodes must hold their peers' data
         # again (background work, off the critical path).
@@ -174,7 +231,11 @@ class GeminiReplicationEngine(CheckpointEngine):
             engine=self.name,
             version=version,
             recovery_time=recovery_time,
-            breakdown={"fetch_peer": transfer, "local_copy": max(local_copy_times)},
+            breakdown={
+                "fetch_peer": transfer,
+                "local_copy": max(local_copy_times),
+                "htod": htod,
+            },
             bytes_inter_node=bytes_inter_node,
             restore_redundancy_time=redo_time,
         )

@@ -9,6 +9,7 @@ the critical path, so stall time equals checkpoint time.
 
 from __future__ import annotations
 
+from repro.errors import RecoveryError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.sim.network import REMOTE, TransferRequest
 from repro.tensors.serialization import serialize_state_dict
@@ -19,6 +20,10 @@ class SyncRemoteEngine(CheckpointEngine):
 
     name = "base1"
 
+    #: Fault injection: fires before each worker's blob lands in remote
+    #: storage, so a crash leaves a torn remote version behind.
+    crash_points = ("mid_persist",)
+
     def save(self) -> SaveReport:
         self.version += 1
         tm = self.job.time_model
@@ -26,6 +31,7 @@ class SyncRemoteEngine(CheckpointEngine):
         bytes_to_remote = 0
         serialize_times = {}
         for worker in self.job.writers:
+            self._fire("mid_persist", version=self.version, worker=worker)
             blob = serialize_state_dict(self.job.state_of(worker))
             self.remote.put(("ckpt", self.version, worker), blob)
             logical = self.job.logical_shard_bytes(worker)
@@ -58,7 +64,14 @@ class SyncRemoteEngine(CheckpointEngine):
 
     def restore(self, failed_nodes: set[int]) -> RecoveryReport:
         self.on_failure(failed_nodes)
-        version = self.latest_version()
+        self.latest_version()  # raises if nothing was ever saved
+        # Walk back past torn remote versions (a crash mid-persist leaves
+        # some workers' blobs missing) to the newest complete one.
+        version = self._latest_complete_remote_version()
+        if version is None:
+            raise RecoveryError(
+                f"{self.name}: no complete remote checkpoint to restore"
+            )
         load_time, bytes_read = self._restore_all_from_remote(version)
         return RecoveryReport(
             engine=self.name,

@@ -11,6 +11,7 @@ high checkpoint frequencies.
 
 from __future__ import annotations
 
+from repro.errors import RecoveryError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.sim.network import REMOTE, TransferRequest
 from repro.tensors.serialization import serialize_state_dict
@@ -22,6 +23,10 @@ class TwoPhaseEngine(CheckpointEngine):
     """The paper's **base2**."""
 
     name = "base2"
+
+    #: Fault injection: after the snapshot phase (checkpoint exists only
+    #: in volatile host memory) and before each worker's remote persist.
+    crash_points = ("post_snapshot", "mid_persist")
 
     def save(self) -> SaveReport:
         self.version += 1
@@ -39,12 +44,14 @@ class TwoPhaseEngine(CheckpointEngine):
             bytes_dtoh += logical
             dtoh_times.append(tm.dtoh_time(logical))
         stall = max(dtoh_times)
+        self._fire("post_snapshot", version=self.version)
 
         # Phase 2 — persist: serialize the snapshot, stream to remote.
         requests = []
         serialize_times = []
         bytes_to_remote = 0
         for worker, snapshot in snapshots.items():
+            self._fire("mid_persist", version=self.version, worker=worker)
             blob = serialize_state_dict(snapshot)
             self.remote.put(("ckpt", self.version, worker), blob)
             logical = self.job.logical_shard_bytes(worker)
@@ -76,7 +83,15 @@ class TwoPhaseEngine(CheckpointEngine):
 
     def restore(self, failed_nodes: set[int]) -> RecoveryReport:
         self.on_failure(failed_nodes)
-        version = self.latest_version()
+        self.latest_version()  # raises if nothing was ever saved
+        # A crash between snapshot and persist (or mid-persist) leaves the
+        # latest version torn in remote storage; walk back to the newest
+        # version every writer completed.
+        version = self._latest_complete_remote_version()
+        if version is None:
+            raise RecoveryError(
+                f"{self.name}: no complete remote checkpoint to restore"
+            )
         load_time, bytes_read = self._restore_all_from_remote(version)
         return RecoveryReport(
             engine=self.name,

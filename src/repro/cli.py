@@ -86,6 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_encode_throughput.json",
         help="JSON results path ('' to skip writing)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: save/crash/restore cycles with "
+        "recovery invariants checked every cycle",
+    )
+    chaos.add_argument(
+        "--episodes", type=int, default=50, help="number of seeded episodes"
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    chaos.add_argument(
+        "--engines",
+        default="eccheck,base1,base2,base3",
+        help="comma-separated engine names to cycle through",
+    )
+    chaos.add_argument(
+        "--max-rounds",
+        type=int,
+        default=3,
+        help="max save/crash/restore rounds per episode",
+    )
+    chaos.add_argument(
+        "--output",
+        default="CHAOS_report.json",
+        help="JSON campaign report path ('' to skip writing)",
+    )
     return parser
 
 
@@ -126,6 +152,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_run(args.experiment, out)
     if args.command == "quickstart":
         return _quickstart(out)
+    if args.command == "chaos":
+        return _chaos(args, out)
     if args.command == "bench-encode":
         from repro.bench.encode_throughput import main as bench_main
 
@@ -141,6 +169,28 @@ def main(argv: list[str] | None = None, out=None) -> int:
             out=out,
         )
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _chaos(args, out) -> int:
+    """Run a chaos campaign; exit 0 iff no invariant was violated."""
+    from repro.chaos.campaign import ChaosConfig, run_campaign
+
+    engines = tuple(
+        name.strip() for name in args.engines.split(",") if name.strip()
+    )
+    config = ChaosConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        engines=engines,
+        max_rounds=args.max_rounds,
+    )
+    report = run_campaign(config)
+    print(report.render(), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.output}", file=out)
+    return 1 if report.violations else 0
 
 
 def _quickstart(out) -> int:

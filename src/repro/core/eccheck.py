@@ -17,6 +17,13 @@ Checkpoint layout in host memory after ``save``:
 
 Any ``k`` surviving chunks reconstruct every worker's packet, hence every
 worker's ``state_dict``.
+
+Crash consistency: the byte work (encode -> XOR -> P2P chunk placement)
+runs *first* and the metadata broadcast runs *last*, as the commit record.
+``restore`` only accepts a version whose metadata is complete on the
+survivors, so a crash anywhere inside ``save`` — at any of the
+:data:`~repro.core.eccheck.ECCheckEngine.crash_points` fault-injection
+hooks — leaves a torn version that recovery provably walks back past.
 """
 
 from __future__ import annotations
@@ -30,7 +37,13 @@ from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.checkpoint.job import TrainingJob
 from repro.core.integrity import chunk_digest, verify_chunk
 from repro.core.placement import PlacementPlan, build_data_group, select_data_parity_nodes
-from repro.core.pipeline import PipelinedRunner, pipeline_makespan, serial_makespan
+from repro.core.pipeline import (
+    STAGE_ENCODE,
+    STAGE_XOR_REDUCE,
+    PipelinedRunner,
+    pipeline_makespan,
+    serial_makespan,
+)
 from repro.core.protocol import (
     build_worker_checkpoint,
     encode_packet,
@@ -79,6 +92,20 @@ class ECCheckEngine(CheckpointEngine):
     """ECCheck (paper Sec. III-IV)."""
 
     name = "eccheck"
+
+    #: Fault-injection hooks inside ``save``, in pipeline order: after a
+    #: group's packets are encoded, after they are XOR-reduced, between
+    #: individual chunk-packet placements (leaving torn chunks), after a
+    #: group's transfer stage completes, and before/during the metadata
+    #: broadcast that commits the version.
+    crash_points = (
+        "post_encode",
+        "post_xor",
+        "mid_p2p",
+        "post_transfer",
+        "pre_metadata_broadcast",
+        "mid_metadata_broadcast",
+    )
 
     def __init__(self, job: TrainingJob, config: ECCheckConfig | None = None):
         super().__init__(job)
@@ -210,16 +237,10 @@ class ECCheckEngine(CheckpointEngine):
         )
         bytes_dtoh = self.job.total_logical_bytes()
 
-        # --- Step 2: broadcast metadata (tiny) to every node. ---
-        meta_bytes = 0
-        for worker, wc in checkpoints.items():
-            record = (wc.metadata_blob, wc.packet.original_length)
-            meta_bytes += len(wc.metadata_blob)
-            for node in range(n):
-                self.host.put(node, ("meta", version, worker), record)
-        step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
-
         # --- Step 3: encode -> XOR reduction -> P2P. ---
+        # Runs *before* the metadata broadcast: metadata is the commit
+        # record, so all chunk placement must already be durable-in-RAM
+        # when it lands (see the module docstring on crash consistency).
         # The real byte work streams through the three-stage thread
         # pipeline of Sec. IV-C: while one reduction group's encoded
         # packets are being XOR-reduced, the next group is already
@@ -262,6 +283,10 @@ class ECCheckEngine(CheckpointEngine):
                         bytes_inter_node += logical_packet
                 # P2P: the reduced parity packet moves to its parity node.
                 parity_node = plan.parity_nodes[i]
+                self._fire(
+                    "mid_p2p", version=version, group=group.index,
+                    kind="parity", chunk=i,
+                )
                 self._store_chunk_packet(
                     parity_node, version, "parity", i, group.index, parity_packets[i]
                 )
@@ -277,6 +302,9 @@ class ECCheckEngine(CheckpointEngine):
             for j, members in enumerate(plan.data_group):
                 worker = members[r]
                 data_node = plan.data_nodes[j]
+                self._fire(
+                    "mid_p2p", version=version, group=r, kind="data", chunk=j,
+                )
                 self._store_chunk_packet(
                     data_node, version, "data", j, r,
                     checkpoints[worker].packet.payload.copy(),
@@ -289,9 +317,32 @@ class ECCheckEngine(CheckpointEngine):
                     bytes_inter_node += logical_packet
             return group.index
 
-        runner = PipelinedRunner(stage_encode, stage_xor_reduce, stage_transfer)
+        def stage_hook(stage, item):
+            if stage == STAGE_ENCODE:
+                self._fire("post_encode", version=version, group=item[0].index)
+            elif stage == STAGE_XOR_REDUCE:
+                self._fire("post_xor", version=version, group=item[0].index)
+            else:
+                self._fire("post_transfer", version=version, group=item)
+
+        runner = PipelinedRunner(
+            stage_encode, stage_xor_reduce, stage_transfer, item_hook=stage_hook
+        )
         runner.run(list(self.reduction_plan.groups))
         self.last_pipeline_stats = runner.stats
+
+        # --- Step 2: broadcast metadata (tiny) to every node. ---
+        # Fig. 5 numbers this step 2, but it executes last as the commit
+        # record: ``restore`` only trusts versions with complete metadata.
+        self._fire("pre_metadata_broadcast", version=version)
+        meta_bytes = 0
+        for worker, wc in checkpoints.items():
+            self._fire("mid_metadata_broadcast", version=version, worker=worker)
+            record = (wc.metadata_blob, wc.packet.original_length)
+            meta_bytes += len(wc.metadata_blob)
+            for node in range(n):
+                self.host.put(node, ("meta", version, worker), record)
+        step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
 
         # Remember the packets for incremental (delta) saves.
         self._last_packets = {
@@ -371,12 +422,16 @@ class ECCheckEngine(CheckpointEngine):
         )
         if (
             not self._last_packets
+            or self._last_full_version is None
             or self._last_packets[0].nbytes != packet_size
         ):
             return self.save()
         from repro.core.incremental import apply_delta, packet_delta
 
-        prev_version = self.version
+        # The delta base is the last version whose *chunks* live in host
+        # memory — not ``self.version``, which an interleaved remote backup
+        # (chunkless) may have advanced past it.
+        prev_version = self._last_full_version
         self.version += 1
         version = self.version
 
@@ -401,16 +456,8 @@ class ECCheckEngine(CheckpointEngine):
             + tm.decompose_overhead_s
         )
 
-        # Step 2: metadata rebroadcast (iteration counters changed).
-        meta_bytes = 0
-        for w, wc in checkpoints.items():
-            record = (wc.metadata_blob, wc.packet.original_length)
-            meta_bytes += len(wc.metadata_blob)
-            for node in range(n):
-                self.host.put(node, ("meta", version, w), record)
-        step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
-
-        # Step 3: delta-encode, update parity, refresh data chunks.
+        # Step 3: delta-encode, update parity, refresh data chunks.  As in
+        # the full save, chunk placement precedes the metadata commit.
         requests: list[TransferRequest] = []
         bytes_inter_node = 0
 
@@ -473,6 +520,18 @@ class ECCheckEngine(CheckpointEngine):
                         )
                     )
                     bytes_inter_node += dirty_bytes_of(worker)
+
+        # Step 2 equivalent: metadata rebroadcast (iteration counters
+        # changed) commits the delta version.
+        self._fire("pre_metadata_broadcast", version=version)
+        meta_bytes = 0
+        for w, wc in checkpoints.items():
+            self._fire("mid_metadata_broadcast", version=version, worker=w)
+            record = (wc.metadata_blob, wc.packet.original_length)
+            meta_bytes += len(wc.metadata_blob)
+            for node in range(n):
+                self.host.put(node, ("meta", version, w), record)
+        step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
 
         comm_makespan = self.network.simulate(requests).makespan if requests else 0.0
         max_dirty = max(dirty_bytes_of(w) for w in range(world))
@@ -632,12 +691,21 @@ class ECCheckEngine(CheckpointEngine):
                 if isinstance(key, tuple) and key[0] == "ckpt"
             }
         )
-        if not backup_versions:
+        # A backup interrupted mid-persist is torn just like an in-memory
+        # version: only versions holding every writer's blob are loadable.
+        complete = [
+            v for v in backup_versions
+            if all(
+                self.remote.contains(("ckpt", v, worker))
+                for worker in self.job.writers
+            )
+        ]
+        if not complete:
             raise RecoveryError(
                 f"{len(failed_nodes)} failures exceed parity m={self.config.m} "
-                "and no remote backup exists"
+                "and no complete remote backup exists"
             )
-        backup = backup_versions[-1]
+        backup = complete[-1]
         load_time, bytes_read = self._restore_all_from_remote(backup)
         return RecoveryReport(
             engine=self.name,
@@ -678,19 +746,23 @@ class ECCheckEngine(CheckpointEngine):
         self._rebroadcast_metadata(version, failed_nodes, surviving)
         transfer = self.network.simulate(requests).makespan
         htod = max(
-            tm.dtoh_time(self.job.logical_shard_bytes(w))
+            tm.htod_time(self.job.logical_shard_bytes(w))
             for w in range(self.job.world_size)
         )
         recovery_time = transfer + htod
 
         # Background: re-encode parity chunks lost with failed parity nodes
-        # or failing digest verification.
+        # or failing digest verification.  One encode pass per reduction
+        # group produces *all* m parity packets at once, so every lost
+        # parity chunk is rebuilt from that single pass.
+        groups = len(plan.data_group[0])
+        lost_parities = [
+            i for i in range(plan.m) if (plan.k + i) not in chunk_available
+        ]
         redo_requests: list[TransferRequest] = []
         encode_seconds = 0.0
-        for i, parity_node in enumerate(plan.parity_nodes):
-            if (plan.k + i) in chunk_available:
-                continue
-            for r in range(len(plan.data_group[0])):
+        if lost_parities:
+            for r in range(groups):
                 data_packets = [
                     np.ascontiguousarray(
                         self.host.get(
@@ -699,24 +771,26 @@ class ECCheckEngine(CheckpointEngine):
                     )
                     for j in range(plan.k)
                 ]
-                parity_packet = self.encoder.encode(data_packets)[i]
-                self._store_chunk_packet(
-                    parity_node, version, "parity", i, r, parity_packet
-                )
-            # Each data node streams its chunk through the encoder pipeline
-            # to the replacement parity node.
-            for j in range(plan.k):
-                redo_requests.append(
-                    TransferRequest(
-                        src=plan.data_nodes[j],
-                        dst=parity_node,
-                        nbytes=logical_packet * len(plan.data_group[0]) // plan.k,
+                parity_packets = self.encoder.encode(data_packets)
+                for i in lost_parities:
+                    self._store_chunk_packet(
+                        plan.parity_nodes[i], version, "parity", i, r,
+                        parity_packets[i],
                     )
-                )
-            encode_seconds += tm.encode_time(
-                logical_packet * len(plan.data_group[0]),
-                threads=self.config.encode_threads,
+            encode_seconds = tm.encode_time(
+                logical_packet * groups, threads=self.config.encode_threads
             )
+            # Each data node streams its chunk through the encoder pipeline
+            # to every replacement parity node.
+            for i in lost_parities:
+                for j in range(plan.k):
+                    redo_requests.append(
+                        TransferRequest(
+                            src=plan.data_nodes[j],
+                            dst=plan.parity_nodes[i],
+                            nbytes=logical_packet * groups // plan.k,
+                        )
+                    )
         redo_comm = (
             self.network.simulate(redo_requests).makespan if redo_requests else 0.0
         )
@@ -793,7 +867,7 @@ class ECCheckEngine(CheckpointEngine):
         gather = self.network.simulate(gather_requests).makespan
         scatter = self.network.simulate(scatter_requests).makespan
         htod = max(
-            tm.dtoh_time(self.job.logical_shard_bytes(w))
+            tm.htod_time(self.job.logical_shard_bytes(w))
             for w in range(self.job.world_size)
         )
         recovery_time = gather + decode_seconds + scatter + htod
@@ -814,27 +888,34 @@ class ECCheckEngine(CheckpointEngine):
                         nbytes=logical_packet * groups,
                     )
                 )
+        # One encode pass per reduction group rebuilds all lost parity
+        # chunks at once (encoding emits every parity packet anyway).
+        lost_parities = [
+            i for i, parity_node in enumerate(plan.parity_nodes)
+            if parity_node in failed_nodes or (plan.k + i) not in chunk_available
+        ]
         reencode_seconds = 0.0
-        for i, parity_node in enumerate(plan.parity_nodes):
-            if parity_node not in failed_nodes and (plan.k + i) in chunk_available:
-                continue
+        if lost_parities:
             for r in range(groups):
-                parity_packet = self.encoder.encode(
+                parity_packets = self.encoder.encode(
                     [recovered[(j, r)] for j in range(plan.k)]
-                )[i]
-                self._store_chunk_packet(
-                    parity_node, version, "parity", i, r, parity_packet
                 )
-            reencode_seconds += tm.encode_time(
+                for i in lost_parities:
+                    self._store_chunk_packet(
+                        plan.parity_nodes[i], version, "parity", i, r,
+                        parity_packets[i],
+                    )
+            reencode_seconds = tm.encode_time(
                 logical_packet * groups, threads=self.config.encode_threads
             )
-            redo_requests.append(
-                TransferRequest(
-                    src=surviving[i % len(surviving)],
-                    dst=parity_node,
-                    nbytes=logical_packet * groups,
+            for i in lost_parities:
+                redo_requests.append(
+                    TransferRequest(
+                        src=surviving[i % len(surviving)],
+                        dst=plan.parity_nodes[i],
+                        nbytes=logical_packet * groups,
+                    )
                 )
-            )
         redo_comm = (
             self.network.simulate(redo_requests).makespan if redo_requests else 0.0
         )

@@ -72,11 +72,20 @@ def packet_delta(
     total_blocks = -(-delta.nbytes // block_size) if delta.nbytes else 0
     dirty_blocks = 0
     dirty_bytes = 0
-    for b in range(total_blocks):
-        block = delta[b * block_size : (b + 1) * block_size]
-        if block.any():
-            dirty_blocks += 1
-            dirty_bytes += block.nbytes
+    if total_blocks:
+        # One vectorized reduction instead of a Python loop per block:
+        # zero-pad to a whole number of blocks, view as (blocks, block_size),
+        # and ask which rows contain any set bit.
+        padded = np.zeros(total_blocks * block_size, dtype=np.uint8)
+        padded[: delta.nbytes] = delta
+        dirty = padded.reshape(total_blocks, block_size).any(axis=1)
+        dirty_blocks = int(np.count_nonzero(dirty))
+        dirty_bytes = dirty_blocks * block_size
+        # The final block may be short; padding never sets bits, so only
+        # the real tail bytes count when that block is dirty.
+        tail = delta.nbytes - (total_blocks - 1) * block_size
+        if dirty[-1]:
+            dirty_bytes -= block_size - tail
     return delta, DeltaSummary(
         block_size=block_size,
         total_blocks=total_blocks,

@@ -26,6 +26,9 @@ from repro.errors import CheckpointError
 
 _DONE = object()
 
+#: Stage indices of a :class:`PipelinedRunner`, for ``item_hook`` callers.
+STAGE_ENCODE, STAGE_XOR_REDUCE, STAGE_TRANSFER = 0, 1, 2
+
 
 def pipeline_makespan(stage_times: list[float], buffers: int) -> float:
     """Makespan of a linear pipeline over ``buffers`` equal work items.
@@ -70,6 +73,14 @@ class PipelinedRunner:
     downstream stage back-pressures upstream exactly as the paper's
     reserved data/encoding buffers do.
 
+    ``item_hook``, when given, is invoked as ``item_hook(stage, result)``
+    after a stage processes each item (stage is one of
+    :data:`STAGE_ENCODE` / :data:`STAGE_XOR_REDUCE` /
+    :data:`STAGE_TRANSFER`).  It runs on the stage's worker thread and may
+    raise — fault-injection campaigns use it to crash the save at any
+    stage boundary; the exception propagates out of :meth:`run` exactly
+    like a stage failure.
+
     Example:
         >>> runner = PipelinedRunner(
         ...     encode=lambda x: x + 1,
@@ -86,11 +97,13 @@ class PipelinedRunner:
         reduce: Callable[[Any], Any],
         transfer: Callable[[Any], Any],
         queue_depth: int = 4,
+        item_hook: Callable[[int, Any], None] | None = None,
     ):
         if queue_depth < 1:
             raise CheckpointError(f"queue_depth must be >= 1, got {queue_depth}")
         self._stages = [encode, reduce, transfer]
         self.queue_depth = queue_depth
+        self.item_hook = item_hook
         self.stats: PipelineStats | None = None
 
     def run(self, items: list[Any]) -> list[Any]:
@@ -101,6 +114,14 @@ class PipelinedRunner:
         errors: list[BaseException] = []
         counts = [0, 0, 0]
 
+        def drain(source) -> None:
+            # After a stage dies its upstream keeps producing; consume the
+            # leftovers (the sentinel always arrives — every producer puts
+            # one on both normal exit and failure) so a bounded queue never
+            # deadlocks the upstream thread mid-put.
+            while source.get() is not _DONE:
+                pass
+
         def stage_worker(fn, source, sink, index):
             try:
                 while True:
@@ -108,11 +129,15 @@ class PipelinedRunner:
                     if item is _DONE:
                         sink.put(_DONE)
                         return
-                    sink.put(fn(item))
+                    out = fn(item)
+                    if self.item_hook is not None:
+                        self.item_hook(index, out)
+                    sink.put(out)
                     counts[index] += 1
             except BaseException as exc:  # propagate to caller
                 errors.append(exc)
                 sink.put(_DONE)
+                drain(source)
 
         q_input: queue.Queue = queue.Queue()
         for item in items:
@@ -145,9 +170,13 @@ class PipelinedRunner:
                     item = q_reduce_out.get()
                     if item is _DONE:
                         return
-                    sink.put(self._stages[2](item))
+                    out = self._stages[2](item)
+                    if self.item_hook is not None:
+                        self.item_hook(STAGE_TRANSFER, out)
+                    sink.put(out)
             except BaseException as exc:
                 errors.append(exc)
+                drain(q_reduce_out)
 
         threads.append(threading.Thread(target=transfer_worker, name="eccheck-p2p"))
         for thread in threads:

@@ -27,7 +27,9 @@ from repro.sim.network import (
 from repro.sim.timeline import IterationTimeline, Interval, pipeline_schedule_timeline
 from repro.sim.failures import (
     FailureEvent,
+    concurrent_failure_counts,
     poisson_failure_trace,
+    sample_correlated_failures,
     sample_node_failures,
 )
 from repro.sim.goodput import EngineProfile, GoodputResult, simulate_goodput
@@ -44,7 +46,9 @@ __all__ = [
     "Interval",
     "pipeline_schedule_timeline",
     "FailureEvent",
+    "concurrent_failure_counts",
     "poisson_failure_trace",
+    "sample_correlated_failures",
     "sample_node_failures",
     "EngineProfile",
     "GoodputResult",

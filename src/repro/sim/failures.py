@@ -75,19 +75,47 @@ def poisson_failure_trace(
 
 
 def concurrent_failure_counts(
-    events: list[FailureEvent], window_hours: float
+    events: list[FailureEvent],
+    window_hours: float,
+    duration_hours: float | None = None,
 ) -> list[int]:
     """Number of failures landing in each ``window_hours`` bucket.
 
     Used to study how often multiple failures hit within one checkpoint
     interval — the case that separates erasure coding from replication.
+
+    Args:
+        events: time-ordered failure events (times in hours).
+        window_hours: bucket width.
+        duration_hours: trace length.  When given, the returned list covers
+            the whole trace — including the quiet tail after the last
+            failure — so window statistics (e.g. the fraction of zero-
+            failure windows) are unbiased.  Without it the horizon is
+            inferred from the last event, which silently drops trailing
+            zero-count windows and returns ``[]`` for an event-free trace.
+
+    Raises:
+        SimulationError: on a non-positive window or duration, or an
+            event falling outside ``duration_hours``.
     """
     if window_hours <= 0:
         raise SimulationError(f"window_hours must be positive, got {window_hours}")
-    if not events:
-        return []
-    horizon = max(e.time for e in events)
-    buckets = int(horizon / window_hours) + 1
+    if duration_hours is None:
+        if not events:
+            return []
+        buckets = int(max(e.time for e in events) / window_hours) + 1
+    else:
+        if duration_hours <= 0:
+            raise SimulationError(
+                f"duration_hours must be positive, got {duration_hours}"
+            )
+        last = max((e.time for e in events), default=0.0)
+        if last >= duration_hours:
+            raise SimulationError(
+                f"event at t={last} falls outside duration_hours={duration_hours}"
+            )
+        # ceil: a partial final window still gets a bucket.
+        buckets = max(1, int(-(-duration_hours // window_hours)))
     counts = [0] * buckets
     for event in events:
         counts[int(event.time / window_hours)] += 1

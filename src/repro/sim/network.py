@@ -40,6 +40,9 @@ class TimeModel:
 
     Attributes:
         dtoh_gbps: GPU-to-host copy bandwidth per GPU (PCIe 4.0 x16).
+        htod_gbps: host-to-GPU copy bandwidth per GPU (the restore-path
+            direction; PCIe is symmetric so the default matches
+            ``dtoh_gbps``, but pinned-memory setups can differ).
         nvlink_gbps: intra-node GPU interconnect bandwidth per node.
         inter_node_gbps: NIC bandwidth per node, full duplex (the paper's
             100 Gbps fabric).
@@ -57,6 +60,7 @@ class TimeModel:
     """
 
     dtoh_gbps: float = 128.0
+    htod_gbps: float = 128.0
     nvlink_gbps: float = 1200.0
     inter_node_gbps: float = 100.0
     remote_storage_gbps: float = 5.0
@@ -71,6 +75,10 @@ class TimeModel:
     def dtoh_time(self, nbytes: int) -> float:
         """Seconds to copy ``nbytes`` from one GPU to host memory."""
         return nbytes / gbps(self.dtoh_gbps)
+
+    def htod_time(self, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` from host memory to one GPU."""
+        return nbytes / gbps(self.htod_gbps)
 
     def serialize_time(self, nbytes: int) -> float:
         """Seconds for one worker to serialize ``nbytes`` of state."""

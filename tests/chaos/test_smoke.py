@@ -1,0 +1,25 @@
+"""Tier-1 smoke campaign: a deterministic ~20-episode chaos run across all
+four engines must finish with zero invariant violations.
+
+This is the executable form of the PR's acceptance criterion; the full
+``repro chaos --episodes 50 --seed 0`` run covers more of the outcome
+matrix but asserts exactly the same invariants.
+"""
+
+from repro.chaos.campaign import ChaosConfig, run_campaign
+
+
+def test_smoke_campaign_has_zero_violations():
+    report = run_campaign(ChaosConfig(episodes=20, seed=0))
+    assert report.violations == [], "\n".join(report.violations)
+    # The campaign must actually exercise recoveries, not vacuously pass.
+    assert len(report.cycles) >= 10
+    outcomes = {cycle["outcome"] for cycle in report.cycles}
+    assert "memory" in outcomes
+    assert "backup" in outcomes
+    # Every engine took part.
+    assert {e.engine for e in report.episodes} == {
+        "eccheck", "base1", "base2", "base3"
+    }
+    # Crashes were injected and torn versions walked back, not avoided.
+    assert any(cycle["crash_point"] for cycle in report.cycles)

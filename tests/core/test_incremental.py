@@ -52,6 +52,56 @@ def test_apply_delta_round_trip():
         apply_delta(old, np.zeros(4, np.uint8))
 
 
+def _loop_reference_summary(delta, block_size):
+    """The pre-vectorization per-block loop, kept as the test oracle."""
+    total_blocks = -(-delta.nbytes // block_size) if delta.nbytes else 0
+    dirty_blocks = 0
+    dirty_bytes = 0
+    for b in range(total_blocks):
+        block = delta[b * block_size : (b + 1) * block_size]
+        if block.any():
+            dirty_blocks += 1
+            dirty_bytes += block.nbytes
+    return total_blocks, dirty_blocks, dirty_bytes
+
+
+@pytest.mark.parametrize("size", [1, 63, 64, 65, 128, 3 * 64 + 7, 1000])
+@pytest.mark.parametrize("block_size", [16, 64, 100])
+def test_vectorized_dirty_detection_matches_loop(size, block_size):
+    """The reshape/.any(axis=1) path must agree with the per-block loop on
+    every size, including packets that are not a block-size multiple."""
+    rng = np.random.default_rng(size * 1000 + block_size)
+    old = rng.integers(0, 256, size, dtype=np.uint8)
+    new = old.copy()
+    for index in rng.choice(size, size=min(size, 5), replace=False):
+        new[index] ^= int(rng.integers(1, 256))
+    delta, summary = packet_delta(old, new, block_size=block_size)
+    total, dirty, dirty_bytes = _loop_reference_summary(old ^ new, block_size)
+    assert summary.total_blocks == total
+    assert summary.dirty_blocks == dirty
+    assert summary.dirty_bytes == dirty_bytes
+    assert np.array_equal(delta, old ^ new)
+
+
+def test_dirty_bytes_counts_short_tail_block():
+    # 100 bytes, 64-byte blocks: a dirty final block holds only 36 bytes.
+    old = np.zeros(100, dtype=np.uint8)
+    new = old.copy()
+    new[99] = 1
+    _, summary = packet_delta(old, new, block_size=64)
+    assert summary.total_blocks == 2
+    assert summary.dirty_blocks == 1
+    assert summary.dirty_bytes == 36
+
+
+def test_clean_tail_block_costs_nothing():
+    old = np.zeros(100, dtype=np.uint8)
+    new = old.copy()
+    new[0] = 1  # only the full first block is dirty
+    _, summary = packet_delta(old, new, block_size=64)
+    assert summary.dirty_bytes == 64
+
+
 # ---------------------------------------------------------------------------
 # Engine integration
 # ---------------------------------------------------------------------------

@@ -7,6 +7,9 @@ import pytest
 
 from repro.errors import CheckpointError
 from repro.core.pipeline import (
+    STAGE_ENCODE,
+    STAGE_TRANSFER,
+    STAGE_XOR_REDUCE,
     PipelinedRunner,
     pipeline_makespan,
     serial_makespan,
@@ -129,3 +132,70 @@ def test_runner_with_numpy_xor_workload():
     for i, result in enumerate(out):
         expected = f.mul_region(7, buffers[i]) ^ 0xFF
         assert np.array_equal(result, expected)
+
+
+# ---------------------------------------------------------------------------
+# item_hook and error-drain behaviour (the fault-injection surface)
+# ---------------------------------------------------------------------------
+def test_item_hook_sees_every_stage_result():
+    seen = []
+    lock = threading.Lock()
+
+    def hook(stage, result):
+        with lock:
+            seen.append((stage, result))
+
+    runner = PipelinedRunner(
+        encode=lambda x: x + 1,
+        reduce=lambda x: x * 10,
+        transfer=lambda x: x - 1,
+        item_hook=hook,
+    )
+    assert runner.run([0, 1]) == [9, 19]
+    assert sorted(seen) == [
+        (STAGE_ENCODE, 1),
+        (STAGE_ENCODE, 2),
+        (STAGE_XOR_REDUCE, 10),
+        (STAGE_XOR_REDUCE, 20),
+        (STAGE_TRANSFER, 9),
+        (STAGE_TRANSFER, 19),
+    ]
+
+
+def test_item_hook_exception_aborts_the_run():
+    def hook(stage, result):
+        if stage == STAGE_XOR_REDUCE:
+            raise RuntimeError("injected")
+
+    runner = PipelinedRunner(
+        lambda x: x, lambda x: x, lambda x: x, item_hook=hook
+    )
+    with pytest.raises(RuntimeError, match="injected"):
+        runner.run([1, 2, 3])
+
+
+@pytest.mark.parametrize("stage_index", [0, 1, 2])
+def test_failing_stage_never_deadlocks_full_queues(stage_index):
+    """Regression: a stage dying while upstream kept producing into a full
+    bounded queue used to hang ``run`` on join.  The dying stage must
+    drain its input so producers can finish."""
+    stages = [lambda x: x, lambda x: x, lambda x: x]
+
+    def explode(x):
+        raise ValueError("boom")
+
+    stages[stage_index] = explode
+    runner = PipelinedRunner(*stages, queue_depth=1)
+    outcome = {}
+
+    def attempt():
+        try:
+            runner.run(list(range(64)))  # far more items than queue slots
+        except ValueError as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=attempt)
+    thread.start()
+    thread.join(timeout=20)
+    assert not thread.is_alive(), "pipeline deadlocked after a stage error"
+    assert str(outcome["error"]) == "boom"

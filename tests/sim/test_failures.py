@@ -71,3 +71,55 @@ def test_concurrent_failure_counts():
     assert concurrent_failure_counts([], 1.0) == []
     with pytest.raises(SimulationError):
         concurrent_failure_counts(events, 0)
+
+
+def test_concurrent_failure_counts_covers_trace_duration():
+    """Without the trace duration the quiet tail after the last failure is
+    silently dropped, biasing window statistics (the fraction of
+    zero-failure windows) high."""
+    from repro.sim.failures import FailureEvent
+
+    events = [FailureEvent(0.5, 0), FailureEvent(0.7, 1), FailureEvent(2.1, 2)]
+    counts = concurrent_failure_counts(events, 1.0, duration_hours=24.0)
+    assert len(counts) == 24
+    assert counts[:3] == [2, 0, 1]
+    assert sum(counts) == 3
+    assert counts[3:] == [0] * 21
+
+
+def test_concurrent_failure_counts_empty_trace_with_duration():
+    # An event-free trace is 10 windows of zero failures, not "no data".
+    assert concurrent_failure_counts([], 1.0, duration_hours=10.0) == [0] * 10
+
+
+def test_concurrent_failure_counts_partial_final_window():
+    from repro.sim.failures import FailureEvent
+
+    counts = concurrent_failure_counts(
+        [FailureEvent(2.4, 0)], 1.0, duration_hours=2.5
+    )
+    assert counts == [0, 0, 1]
+
+
+def test_concurrent_failure_counts_duration_validation():
+    from repro.sim.failures import FailureEvent
+
+    with pytest.raises(SimulationError):
+        concurrent_failure_counts([], 1.0, duration_hours=0.0)
+    with pytest.raises(SimulationError):
+        concurrent_failure_counts(
+            [FailureEvent(5.0, 0)], 1.0, duration_hours=4.0
+        )
+
+
+def test_window_statistics_unbiased_by_duration():
+    """The multi-failure-window *fraction* must use the full trace as its
+    denominator; the legacy horizon inflates it."""
+    rng = np.random.default_rng(11)
+    duration = 24 * 54.0
+    events = poisson_failure_trace(2000, 2000 * 3.1, duration, rng)
+    legacy = concurrent_failure_counts(events, 1.0)
+    full = concurrent_failure_counts(events, 1.0, duration_hours=duration)
+    assert len(full) == int(duration)
+    assert len(full) >= len(legacy)
+    assert sum(full) == sum(legacy) == len(events)

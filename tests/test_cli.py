@@ -60,3 +60,27 @@ def test_version_flag():
     with pytest.raises(SystemExit) as excinfo:
         build_parser().parse_args(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_chaos_campaign_command(tmp_path):
+    report_path = tmp_path / "chaos.json"
+    code, output = run_cli(
+        "chaos", "--episodes", "4", "--seed", "0",
+        "--output", str(report_path),
+    )
+    assert code == 0
+    assert "0 violations" in output
+    assert report_path.exists()
+    import json
+
+    payload = json.loads(report_path.read_text())
+    assert payload["violations"] == []
+    assert len(payload["episodes"]) == 4
+
+
+def test_chaos_engine_filter():
+    code, output = run_cli(
+        "chaos", "--episodes", "2", "--engines", "base1", "--output", ""
+    )
+    assert code == 0
+    assert "recovery cycles" in output
