@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import RecoveryError
 from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
 from repro.chaos.invariants import (
@@ -70,6 +71,10 @@ class ChaosConfig:
     max_rounds: int = 3
     model: str = "gpt2-h1024-L16"
     scale: float = 5e-4
+    #: Run each episode under a collecting tracer and attach a trace
+    #: summary (span/event counts, phase totals, fired crash points) to
+    #: the episode in ``CHAOS_report.json``.
+    trace: bool = False
 
 
 @dataclass
@@ -80,6 +85,8 @@ class EpisodeResult:
     engine: str
     cycles: list[dict] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
+    #: Present only when the campaign ran with ``ChaosConfig.trace``.
+    trace_summary: dict | None = None
 
 
 @dataclass
@@ -123,6 +130,7 @@ class CampaignReport:
                 "max_rounds": self.config.max_rounds,
                 "model": self.config.model,
                 "scale": self.config.scale,
+                "trace": self.config.trace,
             },
             "total_recovery_cycles": len(self.cycles),
             "outcome_matrix": self.outcome_matrix(),
@@ -133,6 +141,11 @@ class CampaignReport:
                     "engine": e.engine,
                     "cycles": e.cycles,
                     "violations": e.violations,
+                    **(
+                        {"trace_summary": e.trace_summary}
+                        if e.trace_summary is not None
+                        else {}
+                    ),
                 }
                 for e in self.episodes
             ],
@@ -231,7 +244,25 @@ def run_episode(
     episode: int,
     config: ChaosConfig,
 ) -> EpisodeResult:
-    """One seeded save/crash/restore/resume episode against one engine."""
+    """One seeded save/crash/restore/resume episode against one engine.
+
+    With ``config.trace`` the whole episode runs under a collecting
+    tracer (the rng stream is untouched, so traced and untraced runs
+    make identical draws) and the result carries a trace summary.
+    """
+    if not config.trace:
+        return _run_episode_impl(engine_name, episode, config)
+    with obs.use_tracer() as tracer:
+        result = _run_episode_impl(engine_name, episode, config)
+    result.trace_summary = obs.summarize(tracer)
+    return result
+
+
+def _run_episode_impl(
+    engine_name: str,
+    episode: int,
+    config: ChaosConfig,
+) -> EpisodeResult:
     rng = np.random.default_rng([config.seed, episode])
     result = EpisodeResult(episode=episode, engine=engine_name)
     job, engine = _build_engine(

@@ -15,6 +15,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import CheckpointError, RecoveryError
 from repro.checkpoint.job import TrainingJob
 from repro.checkpoint.storage import HostMemoryStore, RemoteStorage
@@ -92,10 +93,30 @@ class CheckpointEngine(ABC):
         self.crash_injector = None
 
     def _fire(self, point: str, **context) -> None:
-        """Consult the armed crash injector (no-op when unarmed)."""
+        """Consult the armed crash injector (no-op when unarmed).
+
+        When a tracer is installed, an injector that actually fires (i.e.
+        raises to abort the save) is logged as one ``crash_point_fired``
+        event plus a pair of fire counters before the crash propagates.
+        """
         injector = self.crash_injector
         if injector is not None:
-            injector(point, **context)
+            try:
+                injector(point, **context)
+            except BaseException:
+                tracer = obs.get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "crash_point_fired",
+                        engine=self.name,
+                        point=point,
+                        **context,
+                    )
+                    tracer.metrics.counter("chaos.crash_points_fired").inc()
+                    tracer.metrics.counter(
+                        f"chaos.crash_points_fired.{point}"
+                    ).inc()
+                raise
 
     # ------------------------------------------------------------------
     @abstractmethod

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import CheckpointError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport
 from repro.checkpoint.frequency import AdaptiveFrequencyTuner
@@ -124,6 +125,17 @@ class CheckpointManager:
         self.stats.save_reports.append(report)
         self._last_checkpoint_iteration = self.job.iteration
         self._checkpoint_iteration_of_version[report.version] = self.job.iteration
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "checkpoint",
+                engine=self.engine.name,
+                version=report.version,
+                iteration=self.job.iteration,
+                stall_s=report.stall_time,
+                checkpoint_s=report.checkpoint_time,
+            )
+            tracer.metrics.counter("manager.checkpoints").inc()
         if self.tuner and self.iteration_s:
             observed = report.stall_time / (self.current_interval * self.iteration_s)
             self.tuner.observe(observed)
@@ -135,6 +147,14 @@ class CheckpointManager:
             self.stats.remote_backups += 1
             self.stats.backup_reports.append(backup)
             self._checkpoint_iteration_of_version[backup.version] = self.job.iteration
+            if tracer.enabled:
+                tracer.event(
+                    "remote_backup",
+                    engine=self.engine.name,
+                    version=backup.version,
+                    iteration=self.job.iteration,
+                )
+                tracer.metrics.counter("manager.remote_backups").inc()
         return True
 
     def on_failure(self, failed_nodes: set[int]) -> RecoveryReport:
@@ -145,12 +165,26 @@ class CheckpointManager:
         """
         at_iteration = self.job.iteration
         self.job.fail_nodes(failed_nodes)
-        report = self.engine.restore(failed_nodes)
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "manager.recovery", failed=sorted(failed_nodes)
+        ):
+            report = self.engine.restore(failed_nodes)
         self.stats.recoveries += 1
         restored_iteration = self._checkpoint_iteration_of_version.get(
             report.version, 0
         )
-        self.stats.iterations_lost += max(0, at_iteration - restored_iteration)
+        iterations_lost = max(0, at_iteration - restored_iteration)
+        self.stats.iterations_lost += iterations_lost
         self.job.iteration = restored_iteration
         self._last_checkpoint_iteration = restored_iteration
+        if tracer.enabled:
+            tracer.event(
+                "recovery",
+                engine=self.engine.name,
+                version=report.version,
+                iterations_lost=iterations_lost,
+                recovery_s=report.recovery_time,
+            )
+            tracer.metrics.counter("manager.recoveries").inc()
         return report

@@ -9,6 +9,7 @@ the critical path, so stall time equals checkpoint time.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import RecoveryError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.sim.network import REMOTE, TransferRequest
@@ -25,6 +26,16 @@ class SyncRemoteEngine(CheckpointEngine):
     crash_points = ("mid_persist",)
 
     def save(self) -> SaveReport:
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "base1.save", kind="save", version=self.version + 1
+        ) as span:
+            report = self._save_impl()
+            span.add_sim(report.checkpoint_time)
+            obs.record_phases(tracer, span, report.breakdown, kind="save")
+        return report
+
+    def _save_impl(self) -> SaveReport:
         self.version += 1
         tm = self.job.time_model
         requests = []
@@ -63,6 +74,17 @@ class SyncRemoteEngine(CheckpointEngine):
         return report
 
     def restore(self, failed_nodes: set[int]) -> RecoveryReport:
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "base1.restore", kind="restore", failed=sorted(failed_nodes)
+        ) as span:
+            report = self._restore_impl(failed_nodes)
+            span.set(version=report.version)
+            span.add_sim(report.recovery_time)
+            obs.record_phases(tracer, span, report.breakdown, kind="restore")
+        return report
+
+    def _restore_impl(self, failed_nodes: set[int]) -> RecoveryReport:
         self.on_failure(failed_nodes)
         self.latest_version()  # raises if nothing was ever saved
         # Walk back past torn remote versions (a crash mid-persist leaves

@@ -11,6 +11,7 @@ high checkpoint frequencies.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import RecoveryError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.sim.network import REMOTE, TransferRequest
@@ -29,6 +30,16 @@ class TwoPhaseEngine(CheckpointEngine):
     crash_points = ("post_snapshot", "mid_persist")
 
     def save(self) -> SaveReport:
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "base2.save", kind="save", version=self.version + 1
+        ) as span:
+            report = self._save_impl()
+            span.add_sim(report.checkpoint_time)
+            obs.record_phases(tracer, span, report.breakdown, kind="save")
+        return report
+
+    def _save_impl(self) -> SaveReport:
         self.version += 1
         tm = self.job.time_model
         # Phase 1 — snapshot: DtoH copy into host memory; training resumes
@@ -82,6 +93,17 @@ class TwoPhaseEngine(CheckpointEngine):
         )
 
     def restore(self, failed_nodes: set[int]) -> RecoveryReport:
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "base2.restore", kind="restore", failed=sorted(failed_nodes)
+        ) as span:
+            report = self._restore_impl(failed_nodes)
+            span.set(version=report.version)
+            span.add_sim(report.recovery_time)
+            obs.record_phases(tracer, span, report.breakdown, kind="restore")
+        return report
+
+    def _restore_impl(self, failed_nodes: set[int]) -> RecoveryReport:
         self.on_failure(failed_nodes)
         self.latest_version()  # raises if nothing was ever saved
         # A crash between snapshot and persist (or mid-persist) leaves the

@@ -112,6 +112,65 @@ def build_parser() -> argparse.ArgumentParser:
         default="CHAOS_report.json",
         help="JSON campaign report path ('' to skip writing)",
     )
+    chaos.add_argument(
+        "--trace",
+        action="store_true",
+        help="run each episode under a tracer and attach per-episode "
+        "trace summaries to the report",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced checkpoint job; emit a JSONL trace plus a "
+        "per-phase breakdown cross-checked against the engine reports",
+    )
+    trace.add_argument(
+        "--engine",
+        default="eccheck",
+        choices=("eccheck", "base1", "base2", "base3"),
+        help="checkpoint engine to trace",
+    )
+    trace.add_argument(
+        "--iterations", type=int, default=8, help="training iterations to run"
+    )
+    trace.add_argument(
+        "--interval", type=int, default=2, help="iterations between checkpoints"
+    )
+    trace.add_argument(
+        "--backup-every",
+        type=int,
+        default=2,
+        help="checkpoints between remote backups (engines that support it)",
+    )
+    trace.add_argument(
+        "--fail",
+        default="1",
+        help="comma-separated node ids to fail after training ('' skips "
+        "the restore leg)",
+    )
+    trace.add_argument("--seed", type=int, default=0, help="job seed")
+    trace.add_argument(
+        "--output",
+        default="TRACE_run.jsonl",
+        help="JSONL trace path ('' to skip writing)",
+    )
+    trace.add_argument(
+        "--rel-tol",
+        type=float,
+        default=1e-9,
+        help="relative tolerance for the phase-total crosscheck",
+    )
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="run the property-test suites under a bounded Hypothesis profile",
+    )
+    selftest.add_argument(
+        "--profile",
+        default="ci",
+        choices=("dev", "ci", "thorough"),
+        help="Hypothesis profile registered in tests/conftest.py",
+    )
     return parser
 
 
@@ -154,6 +213,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _quickstart(out)
     if args.command == "chaos":
         return _chaos(args, out)
+    if args.command == "trace":
+        return _trace(args, out)
+    if args.command == "selftest":
+        return _selftest(args, out)
     if args.command == "bench-encode":
         from repro.bench.encode_throughput import main as bench_main
 
@@ -183,6 +246,7 @@ def _chaos(args, out) -> int:
         seed=args.seed,
         engines=engines,
         max_rounds=args.max_rounds,
+        trace=args.trace,
     )
     report = run_campaign(config)
     print(report.render(), file=out)
@@ -191,6 +255,56 @@ def _chaos(args, out) -> int:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.output}", file=out)
     return 1 if report.violations else 0
+
+
+def _trace(args, out) -> int:
+    """Run a traced job; exit 0 iff the phase crosscheck reconciles."""
+    from repro.obs.runner import run_traced_job
+
+    fail_nodes = tuple(
+        int(node) for node in args.fail.split(",") if node.strip()
+    )
+    return run_traced_job(
+        engine_name=args.engine,
+        iterations=args.iterations,
+        interval=args.interval,
+        backup_every=args.backup_every,
+        fail_nodes=fail_nodes,
+        seed=args.seed,
+        output=args.output,
+        rel_tol=args.rel_tol,
+        out=out,
+    )
+
+
+def _selftest(args, out) -> int:
+    """Run the property suites in a subprocess with a bounded profile."""
+    import os
+    import pathlib
+    import subprocess
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    suites = [
+        "tests/ec/test_fast_equivalence.py",
+        "tests/core/test_placement.py",
+        "tests/core/test_selection_properties.py",
+        "tests/obs",
+    ]
+    missing = [s for s in suites if not (root / s).exists()]
+    if missing:
+        print(f"selftest: missing suites {missing} under {root}", file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    env["REPRO_HYPOTHESIS_PROFILE"] = args.profile
+    src = str(root / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    print(f"selftest: profile={args.profile} suites={' '.join(suites)}", file=out)
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", *suites], cwd=root, env=env
+    )
+    return result.returncode
 
 
 def _quickstart(out) -> int:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CheckpointError, RecoveryError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.checkpoint.job import TrainingJob
@@ -213,6 +214,18 @@ class ECCheckEngine(CheckpointEngine):
         assert self.placement and self.reduction_plan and self.code
         self.version += 1
         version = self.version
+        tracer = obs.get_tracer()
+        with tracer.span("eccheck.save", kind="save", version=version) as span:
+            report = self._save_full(version, tracer)
+            span.add_sim(report.checkpoint_time)
+            if tracer.enabled:
+                tracer.metrics.counter("p2p.bytes_inter_node").inc(
+                    report.bytes_inter_node
+                )
+                tracer.metrics.counter("save.bytes_dtoh").inc(report.bytes_dtoh)
+        return report
+
+    def _save_full(self, version: int, tracer) -> SaveReport:
         tm = self.job.time_model
         cfg = self.config
         plan = self.placement
@@ -220,17 +233,23 @@ class ECCheckEngine(CheckpointEngine):
         n = self.job.cluster.num_nodes
 
         # --- Step 1: decompose state_dicts, offload tensor data (DtoH). ---
-        packet_size = packet_size_for(
-            [
-                sum(t.nbytes for t in _tensor_leaves(self.job.state_of(w)))
+        with tracer.span(
+            "eccheck.save.step1",
+            kind="save",
+            phase="step1_decompose_dtoh",
+            version=version,
+        ) as step1_span:
+            packet_size = packet_size_for(
+                [
+                    sum(t.nbytes for t in _tensor_leaves(self.job.state_of(w)))
+                    for w in range(world)
+                ],
+                cfg.packet_alignment,
+            )
+            checkpoints = {
+                w: build_worker_checkpoint(w, self.job.state_of(w), packet_size)
                 for w in range(world)
-            ],
-            cfg.packet_alignment,
-        )
-        checkpoints = {
-            w: build_worker_checkpoint(w, self.job.state_of(w), packet_size)
-            for w in range(world)
-        }
+            }
         step1 = (
             max(tm.dtoh_time(self.job.logical_shard_bytes(w)) for w in range(world))
             + tm.decompose_overhead_s
@@ -325,23 +344,35 @@ class ECCheckEngine(CheckpointEngine):
             else:
                 self._fire("post_transfer", version=version, group=item)
 
-        runner = PipelinedRunner(
-            stage_encode, stage_xor_reduce, stage_transfer, item_hook=stage_hook
-        )
-        runner.run(list(self.reduction_plan.groups))
-        self.last_pipeline_stats = runner.stats
+        with tracer.span(
+            "eccheck.save.step3",
+            kind="save",
+            phase="step3_encode_xor_p2p",
+            version=version,
+        ) as step3_span:
+            runner = PipelinedRunner(
+                stage_encode, stage_xor_reduce, stage_transfer, item_hook=stage_hook
+            )
+            runner.run(list(self.reduction_plan.groups))
+            self.last_pipeline_stats = runner.stats
 
         # --- Step 2: broadcast metadata (tiny) to every node. ---
         # Fig. 5 numbers this step 2, but it executes last as the commit
         # record: ``restore`` only trusts versions with complete metadata.
-        self._fire("pre_metadata_broadcast", version=version)
-        meta_bytes = 0
-        for worker, wc in checkpoints.items():
-            self._fire("mid_metadata_broadcast", version=version, worker=worker)
-            record = (wc.metadata_blob, wc.packet.original_length)
-            meta_bytes += len(wc.metadata_blob)
-            for node in range(n):
-                self.host.put(node, ("meta", version, worker), record)
+        with tracer.span(
+            "eccheck.save.step2",
+            kind="save",
+            phase="step2_metadata_broadcast",
+            version=version,
+        ) as step2_span:
+            self._fire("pre_metadata_broadcast", version=version)
+            meta_bytes = 0
+            for worker, wc in checkpoints.items():
+                self._fire("mid_metadata_broadcast", version=version, worker=worker)
+                record = (wc.metadata_blob, wc.packet.original_length)
+                meta_bytes += len(wc.metadata_blob)
+                for node in range(n):
+                    self.host.put(node, ("meta", version, worker), record)
         step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
 
         # Remember the packets for incremental (delta) saves.
@@ -358,6 +389,13 @@ class ECCheckEngine(CheckpointEngine):
         # m times per reduction group it serves.
         xor_total = tm.memcpy_time((plan.k - 1) * logical_packet) * cfg.m
         step3 = self._step3_time(encode_total, xor_total, comm_makespan, logical_packet)
+
+        # Phase sims attach only now that the save is complete: a crash
+        # anywhere above leaves the step spans without simulated time, so
+        # trace phase totals reconcile with *completed* SaveReports.
+        step1_span.add_sim(step1)
+        step2_span.add_sim(step2)
+        step3_span.add_sim(step3)
 
         return SaveReport(
             engine=self.name,
@@ -426,28 +464,61 @@ class ECCheckEngine(CheckpointEngine):
             or self._last_packets[0].nbytes != packet_size
         ):
             return self.save()
-        from repro.core.incremental import apply_delta, packet_delta
-
         # The delta base is the last version whose *chunks* live in host
         # memory — not ``self.version``, which an interleaved remote backup
         # (chunkless) may have advanced past it.
         prev_version = self._last_full_version
         self.version += 1
         version = self.version
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "eccheck.save_incremental", kind="save", version=version
+        ) as span:
+            report = self._save_delta(
+                version, prev_version, packet_size, block_size, tracer
+            )
+            span.add_sim(report.checkpoint_time)
+            if tracer.enabled:
+                tracer.metrics.counter("p2p.bytes_inter_node").inc(
+                    report.bytes_inter_node
+                )
+        return report
+
+    def _save_delta(
+        self,
+        version: int,
+        prev_version: int,
+        packet_size: int,
+        block_size: int,
+        tracer,
+    ) -> SaveReport:
+        assert self.placement and self.reduction_plan and self.code
+        plan = self.placement
+        tm = self.job.time_model
+        cfg = self.config
+        world = self.job.world_size
+        n = self.job.cluster.num_nodes
+        from repro.core.incremental import apply_delta, packet_delta
 
         # Step 1 equivalent: decompose and compute per-worker deltas.
-        checkpoints = {
-            w: build_worker_checkpoint(w, self.job.state_of(w), packet_size)
-            for w in range(world)
-        }
-        deltas = {}
-        dirty_fraction = {}
-        for w in range(world):
-            delta, summary = packet_delta(
-                self._last_packets[w], checkpoints[w].packet.payload, block_size
-            )
-            deltas[w] = delta
-            dirty_fraction[w] = summary.dirty_fraction
+        with tracer.span(
+            "eccheck.save.step1",
+            kind="save",
+            phase="step1_decompose_dtoh",
+            version=version,
+        ) as step1_span:
+            checkpoints = {
+                w: build_worker_checkpoint(w, self.job.state_of(w), packet_size)
+                for w in range(world)
+            }
+            deltas = {}
+            dirty_fraction = {}
+            for w in range(world):
+                delta, summary = packet_delta(
+                    self._last_packets[w], checkpoints[w].packet.payload, block_size
+                )
+                deltas[w] = delta
+                dirty_fraction[w] = summary.dirty_fraction
         logical_packet = self.logical_packet_bytes()
         # DtoH still moves the full shard (the snapshot is unavoidable);
         # encoding/communication scale with the dirty fraction.
@@ -543,6 +614,18 @@ class ECCheckEngine(CheckpointEngine):
             w: checkpoints[w].packet.payload.copy() for w in range(world)
         }
         self._last_full_version = version
+        # As in the full save, phase sims land only on completion so a
+        # crashed delta save contributes nothing to trace phase totals.
+        step1_span.add_sim(step1)
+        obs.record_phases(
+            tracer,
+            tracer.current_span(),
+            {
+                "step2_metadata_broadcast": step2,
+                "step3_encode_xor_p2p": step3,
+            },
+            kind="save",
+        )
         return SaveReport(
             engine=self.name,
             version=version,
@@ -572,24 +655,49 @@ class ECCheckEngine(CheckpointEngine):
         """
         version = self.version = self.version + 1
         tm = self.job.time_model
-        serialize = max(
-            tm.serialize_time(self.job.logical_shard_bytes(w))
-            for w in self.job.writers
-        )
-        transfer, total = self._persist_all_to_remote(version)
-        return SaveReport(
-            engine=self.name,
-            version=version,
-            stall_time=0.0,
-            checkpoint_time=serialize + transfer,
-            breakdown={"serialize": serialize, "transfer_remote": transfer},
-            bytes_to_remote=total,
-        )
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "eccheck.backup", kind="save", version=version
+        ) as span:
+            serialize = max(
+                tm.serialize_time(self.job.logical_shard_bytes(w))
+                for w in self.job.writers
+            )
+            transfer, total = self._persist_all_to_remote(version)
+            report = SaveReport(
+                engine=self.name,
+                version=version,
+                stall_time=0.0,
+                checkpoint_time=serialize + transfer,
+                breakdown={"serialize": serialize, "transfer_remote": transfer},
+                bytes_to_remote=total,
+            )
+            span.add_sim(report.checkpoint_time)
+            obs.record_phases(tracer, span, report.breakdown, kind="save")
+        return report
 
     # ------------------------------------------------------------------
     # eccheck.load — both recovery workflows
     # ------------------------------------------------------------------
     def restore(self, failed_nodes: set[int]) -> RecoveryReport:
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "eccheck.restore", kind="restore", failed=sorted(failed_nodes)
+        ) as span:
+            report = self._restore_impl(failed_nodes)
+            span.set(version=report.version)
+            span.add_sim(report.recovery_time)
+            obs.record_phases(tracer, span, report.breakdown, kind="restore")
+            if tracer.enabled:
+                tracer.metrics.counter("restore.bytes_inter_node").inc(
+                    report.bytes_inter_node
+                )
+                tracer.metrics.counter("restore.bytes_from_remote").inc(
+                    report.bytes_from_remote
+                )
+        return report
+
+    def _restore_impl(self, failed_nodes: set[int]) -> RecoveryReport:
         assert self.placement and self.code
         self.on_failure(failed_nodes)
         # After any failure the delta base is unreliable; the next

@@ -22,12 +22,16 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro import obs
 from repro.errors import CheckpointError
 
 _DONE = object()
 
 #: Stage indices of a :class:`PipelinedRunner`, for ``item_hook`` callers.
 STAGE_ENCODE, STAGE_XOR_REDUCE, STAGE_TRANSFER = 0, 1, 2
+
+#: Trace-span names per stage (see :mod:`repro.obs`).
+_STAGE_SPAN_NAMES = ("pipeline.encode", "pipeline.xor_reduce", "pipeline.transfer")
 
 
 def pipeline_makespan(stage_times: list[float], buffers: int) -> float:
@@ -113,6 +117,19 @@ class PipelinedRunner:
         results: list[Any] = []
         errors: list[BaseException] = []
         counts = [0, 0, 0]
+        # Stage spans open on worker threads, so thread-local nesting
+        # cannot see the caller's span; capture it here as their
+        # explicit parent (it stays open until run() returns).
+        tracer = obs.get_tracer()
+        parent_span = tracer.current_span() if tracer.enabled else None
+
+        def run_stage(fn, index, item):
+            if tracer.enabled:
+                with tracer.span(
+                    _STAGE_SPAN_NAMES[index], parent=parent_span, stage=index
+                ):
+                    return fn(item)
+            return fn(item)
 
         def drain(source) -> None:
             # After a stage dies its upstream keeps producing; consume the
@@ -129,7 +146,7 @@ class PipelinedRunner:
                     if item is _DONE:
                         sink.put(_DONE)
                         return
-                    out = fn(item)
+                    out = run_stage(fn, index, item)
                     if self.item_hook is not None:
                         self.item_hook(index, out)
                     sink.put(out)
@@ -170,7 +187,7 @@ class PipelinedRunner:
                     item = q_reduce_out.get()
                     if item is _DONE:
                         return
-                    out = self._stages[2](item)
+                    out = run_stage(self._stages[2], STAGE_TRANSFER, item)
                     if self.item_hook is not None:
                         self.item_hook(STAGE_TRANSFER, out)
                     sink.put(out)
@@ -188,4 +205,9 @@ class PipelinedRunner:
         self.stats = PipelineStats(
             encoded=counts[0], reduced=counts[1], transferred=counts[2]
         )
+        if tracer.enabled:
+            m = tracer.metrics
+            m.counter("pipeline.items_encoded").inc(counts[0])
+            m.counter("pipeline.items_reduced").inc(counts[1])
+            m.counter("pipeline.items_transferred").inc(counts[2])
         return results

@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CodeConfigError
+from repro.obs import metrics as obs_metrics
 
 #: Width of the XOR word: strips are XORed as ``uint64`` lanes.
 WORD_BYTES = 8
@@ -216,6 +217,22 @@ def schedule_workspace_rows(ops: list[CompiledOp], min_rows: int) -> int:
     return rows
 
 
+def schedule_xor_count(ops: list[CompiledOp]) -> int:
+    """Logical XOR count of one pass of a compiled schedule.
+
+    A scalar op XORing ``n`` sources costs ``n - 1`` row XORs (a 1-source
+    op is a copy, a 0-source op a zero fill); a batched level op performs
+    one two-source XOR per destination row.
+    """
+    xors = 0
+    for dest, sources in ops:
+        if type(dest) is slice:
+            xors += dest.stop - dest.start
+        else:
+            xors += max(int(sources.size) - 1, 0)
+    return xors
+
+
 def apply_schedule_blocks(
     ops: list[CompiledOp],
     in_blocks: list[np.ndarray],
@@ -245,6 +262,17 @@ def apply_schedule_blocks(
     align = range_alignment(w)
     chunk = max(align, chunk_bytes // align * align)
     n_in, n_out = len(in_blocks), len(out_blocks)
+    registry = obs_metrics.active()
+    if registry is not None:
+        # Off the hot path by default: ``active()`` is None unless a
+        # tracer/metrics registry was explicitly installed.
+        per_pass = schedule_xor_count(ops)
+        passes = -(-size // chunk)
+        registry.counter("kernels.calls").inc()
+        registry.counter("kernels.bytes_in").inc(size * n_in)
+        registry.counter("kernels.bytes_out").inc(size * n_out)
+        registry.counter("kernels.xor_ops_scheduled").inc(per_pass)
+        registry.counter("kernels.xor_ops_executed").inc(per_pass * passes)
     row = padded_row_bytes(strip_bytes_for(min(chunk, size), w))
     n_rows = schedule_workspace_rows(ops, (n_in + n_out) * w)
     work = np.empty((n_rows, row), dtype=np.uint8)
@@ -261,6 +289,11 @@ def apply_schedule_blocks(
 
 def xor_reduce_into(acc: np.ndarray, sources: list[np.ndarray]) -> None:
     """``acc ^= XOR(sources)`` using uint64 lanes when the layout allows."""
+    registry = obs_metrics.active()
+    if registry is not None:
+        registry.counter("kernels.xor_reduce_bytes").inc(
+            acc.nbytes * len(sources)
+        )
     if (
         acc.nbytes % WORD_BYTES == 0
         and acc.flags.c_contiguous

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CodeConfigError
 from repro.ec.base import ErasureCode
 from repro.ec.kernels import range_alignment
@@ -126,16 +127,31 @@ class ThreadPoolEncoder:
                 for out, piece in zip(parity, sub_parity):
                     out[start:end] = piece
 
-        if self.threads == 1 or len(ranges) == 1:
-            for rng in ranges:
-                encode_range(rng)
-        else:
-            with ThreadPoolExecutor(max_workers=self.threads) as pool:
-                list(pool.map(encode_range, ranges))
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "threadpool.encode",
+            nbytes=size * len(blocks),
+            sub_tasks=len(ranges),
+            fast_path=fast,
+        ):
+            if self.threads == 1 or len(ranges) == 1:
+                for rng in ranges:
+                    encode_range(rng)
+            else:
+                with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                    list(pool.map(encode_range, ranges))
         self.last_stats = EncodeStats(
             sub_tasks=len(ranges),
             bytes_encoded=size * len(blocks),
             threads=self.threads,
             fast_path=fast,
         )
+        if tracer.enabled:
+            m = tracer.metrics
+            m.counter("encoder.calls").inc()
+            m.counter("encoder.bytes_encoded").inc(size * len(blocks))
+            m.counter("encoder.sub_tasks").inc(len(ranges))
+            m.counter(
+                "encoder.fast_path_calls" if fast else "encoder.slow_path_calls"
+            ).inc()
         return parity

@@ -1,0 +1,111 @@
+"""Observability layer: span tracing, metrics, structured event logs.
+
+Off by default: :func:`get_tracer` returns a shared no-op
+:class:`~repro.obs.tracer.NullTracer`, so instrumented code costs one
+attribute test per call site until :func:`install` (or the
+:func:`use_tracer` context manager) activates a collecting
+:class:`~repro.obs.tracer.Tracer`.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.use_tracer(obs.Tracer()) as tracer:
+        engine.save()
+    obs.write_jsonl(tracer, "TRACE_run.jsonl", engine=engine.name)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs import metrics as _metrics_mod
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace_io import (
+    Trace,
+    crosscheck_totals,
+    load_trace,
+    phase_totals,
+    summarize,
+    validate_spans,
+    write_jsonl,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+_TRACER = NULL_TRACER
+
+
+def get_tracer():
+    """The active tracer; a shared no-op unless one was installed."""
+    return _TRACER
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    """Activate ``tracer`` globally (``None`` restores the no-op default).
+
+    Also publishes the tracer's metrics registry to the hot-path guard
+    in :mod:`repro.obs.metrics`.
+    """
+    global _TRACER
+    if tracer is None:
+        _TRACER = NULL_TRACER
+        _metrics_mod._set_active(None)
+    else:
+        _TRACER = tracer
+        _metrics_mod._set_active(tracer.metrics)
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of a block, then restore."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = _TRACER
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous if previous is not NULL_TRACER else None)
+
+
+def record_phases(tracer, parent, breakdown, kind: str) -> None:
+    """Attach one phase-tagged child span per breakdown entry.
+
+    For engines whose save/restore work is not naturally bracketed (the
+    analytic phase times only exist once the report is built), this
+    materialises the report's ``breakdown`` as zero-wall spans carrying
+    the simulated durations, so trace phase totals reconcile with report
+    breakdowns by construction.  Must run while ``parent`` is still open
+    so the children nest inside its wall interval.
+    """
+    if not tracer.enabled:
+        return
+    for phase, seconds in breakdown.items():
+        with tracer.span(
+            f"{parent.name}.{phase}", parent=parent, kind=kind, phase=phase
+        ) as span:
+            pass
+        span.add_sim(float(seconds))
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "crosscheck_totals",
+    "get_tracer",
+    "install",
+    "load_trace",
+    "phase_totals",
+    "record_phases",
+    "summarize",
+    "use_tracer",
+    "validate_spans",
+    "write_jsonl",
+]

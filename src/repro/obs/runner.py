@@ -1,0 +1,175 @@
+"""Traced-job driver behind the ``repro trace`` CLI.
+
+Runs a checkpoint job on the standard testbed shape (4 nodes x 2 GPUs,
+TP=2 / PP=4 — the same cluster the chaos campaigns use) with a collecting
+:class:`~repro.obs.tracer.Tracer` installed, writes the JSONL trace, and
+prints a per-phase overhead breakdown.  The breakdown is *cross-checked*:
+every phase total derived from the trace's spans must reconcile with the
+sum of the engine's own :class:`SaveReport`/:class:`RecoveryReport`
+breakdowns within a relative tolerance, so the trace is evidence, not a
+second opinion.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs import trace_io
+from repro.analysis.breakdown import normalise_breakdown
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.replication import GeminiReplicationEngine
+from repro.checkpoint.sync_remote import SyncRemoteEngine
+from repro.checkpoint.two_phase import TwoPhaseEngine
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+
+ENGINES = ("eccheck", "base1", "base2", "base3")
+
+
+def build_traced_job(
+    engine_name: str, model: str, scale: float, seed: int
+) -> tuple[TrainingJob, object]:
+    """Testbed job + engine, mirroring the chaos campaign's shape."""
+    job = TrainingJob.create(
+        model=model,
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=scale,
+        seed=seed,
+    )
+    if engine_name == "eccheck":
+        return job, ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
+    if engine_name == "base1":
+        return job, SyncRemoteEngine(job)
+    if engine_name == "base2":
+        return job, TwoPhaseEngine(job)
+    if engine_name == "base3":
+        return job, GeminiReplicationEngine(job, group_size=2)
+    raise ReproError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+
+
+def _snapshot_cache_gauges(tracer, engine) -> None:
+    """Surface the PR-1 compile/decode cache counters as gauges."""
+    from repro.ec import schedule_cache_info
+
+    for key, value in schedule_cache_info().items():
+        tracer.metrics.gauge(f"cache.{key}").set(float(value))
+    code = getattr(engine, "code", None)
+    if code is not None and hasattr(code, "decode_cache_info"):
+        for key, value in code.decode_cache_info().items():
+            tracer.metrics.gauge(f"cache.decode_{key}").set(float(value))
+
+
+def _sum_breakdowns(breakdowns: list[dict[str, float]]) -> dict[str, float]:
+    want: dict[str, float] = {}
+    for breakdown in breakdowns:
+        for phase, seconds in breakdown.items():
+            want[phase] = want.get(phase, 0.0) + float(seconds)
+    return want
+
+
+def _phase_table(title: str, totals: dict[str, float], want: dict[str, float]) -> list[str]:
+    lines = [title, f"  {'phase':<28} {'traced_s':>12} {'reports_s':>12} {'share':>7}"]
+    grand = sum(totals.values())
+    shares = normalise_breakdown(totals) if grand > 0 else {p: 0.0 for p in totals}
+    for phase in sorted(totals):
+        lines.append(
+            f"  {phase:<28} {totals[phase]:>12.6f} {want.get(phase, 0.0):>12.6f} "
+            f"{shares[phase]:>6.1%}"
+        )
+    lines.append(f"  {'total':<28} {grand:>12.6f}")
+    return lines
+
+
+def run_traced_job(
+    engine_name: str = "eccheck",
+    iterations: int = 8,
+    interval: int = 2,
+    backup_every: int = 2,
+    fail_nodes: tuple[int, ...] = (1,),
+    model: str = "gpt2-h1024-L16",
+    scale: float = 5e-4,
+    seed: int = 0,
+    output: str = "TRACE_run.jsonl",
+    rel_tol: float = 1e-9,
+    out=None,
+) -> int:
+    """Run a traced save/restore job; return 0 iff the trace reconciles.
+
+    Emits ``output`` (JSONL, schema v1) and prints per-phase sim-time
+    tables for the save and restore paths, each cross-checked against the
+    engine's report breakdowns via
+    :func:`repro.obs.trace_io.crosscheck_totals`.
+    """
+    out = out or sys.stdout
+    job, engine = build_traced_job(engine_name, model, scale, seed)
+    supports_backup = hasattr(engine, "save_remote_backup")
+    with obs.use_tracer() as tracer:
+        manager = CheckpointManager(
+            job,
+            engine,
+            interval=interval,
+            remote_backup_every=backup_every if supports_backup else 0,
+        )
+        for _ in range(iterations):
+            job.advance()
+            manager.step()
+        recovery_reports = []
+        if fail_nodes:
+            recovery_reports.append(manager.on_failure(set(fail_nodes)))
+        _snapshot_cache_gauges(tracer, engine)
+
+    spans = [r for r in tracer.records() if r["type"] == "span"]
+    problems = trace_io.validate_spans(spans)
+
+    save_breakdowns = [r.breakdown for r in manager.stats.save_reports]
+    save_breakdowns += [r.breakdown for r in manager.stats.backup_reports]
+    save_totals = trace_io.phase_totals(spans, kind="save")
+    problems += trace_io.crosscheck_totals(save_totals, save_breakdowns, rel_tol)
+    restore_breakdowns = [r.breakdown for r in recovery_reports]
+    restore_totals = trace_io.phase_totals(spans, kind="restore")
+    problems += trace_io.crosscheck_totals(restore_totals, restore_breakdowns, rel_tol)
+
+    events = len(tracer.records()) - len(spans)
+    print(
+        f"traced {engine_name}: {manager.stats.checkpoints} checkpoints, "
+        f"{manager.stats.remote_backups} backups, "
+        f"{manager.stats.recoveries} recoveries "
+        f"({len(spans)} spans, {events} events)",
+        file=out,
+    )
+    if save_totals:
+        table = _phase_table(
+            "save phases:", save_totals, _sum_breakdowns(save_breakdowns)
+        )
+        print("\n".join(table), file=out)
+    if restore_totals:
+        table = _phase_table(
+            "restore phases:", restore_totals, _sum_breakdowns(restore_breakdowns)
+        )
+        print("\n".join(table), file=out)
+    counters = tracer.metrics.snapshot()["counters"]
+    for name in sorted(counters):
+        print(f"  counter {name} = {counters[name]}", file=out)
+    if output:
+        written = trace_io.write_jsonl(
+            tracer,
+            output,
+            engine=engine_name,
+            model=model,
+            scale=scale,
+            seed=seed,
+            iterations=iterations,
+            interval=interval,
+        )
+        print(f"trace written to {output} ({written} records)", file=out)
+    if problems:
+        for problem in problems:
+            print(f"TRACE PROBLEM: {problem}", file=out)
+        return 1
+    print(f"crosscheck OK: phase totals match reports within {rel_tol:g}", file=out)
+    return 0

@@ -6,6 +6,8 @@ This is the executable form of the PR's acceptance criterion; the full
 matrix but asserts exactly the same invariants.
 """
 
+import pytest
+
 from repro.chaos.campaign import ChaosConfig, run_campaign
 
 
@@ -23,3 +25,17 @@ def test_smoke_campaign_has_zero_violations():
     }
     # Crashes were injected and torn versions walked back, not avoided.
     assert any(cycle["crash_point"] for cycle in report.cycles)
+
+
+@pytest.mark.tier2
+def test_full_campaign_with_tracing_has_zero_violations():
+    """The full 50-episode acceptance run, traced end to end."""
+    report = run_campaign(ChaosConfig(episodes=50, seed=0, trace=True))
+    assert report.violations == [], "\n".join(report.violations)
+    for episode in report.episodes:
+        summary = episode.trace_summary
+        assert summary is not None
+        assert summary["nesting_problems"] == []
+        # Every injected crash surfaced exactly as many trace events.
+        fired = summary["counters"].get("chaos.crash_points_fired", 0)
+        assert summary["event_counts"].get("crash_point_fired", 0) == fired

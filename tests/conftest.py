@@ -1,0 +1,27 @@
+"""Shared test configuration: bounded Hypothesis profiles.
+
+Three profiles bound the property suites' example budgets so tier-1 stays
+fast while ``repro selftest --profile thorough`` can dig deeper:
+
+* ``dev`` (default) — small budget for the edit/test loop and tier-1 CI;
+* ``ci`` — the budget ``repro selftest`` uses;
+* ``thorough`` — large budget for release-candidate sweeps.
+
+Select one with ``REPRO_HYPOTHESIS_PROFILE=<name>``.  Tests that pin their
+own ``max_examples`` via an explicit ``@settings`` keep their pinned value.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile("dev", max_examples=20, **_COMMON)
+settings.register_profile("ci", max_examples=60, **_COMMON)
+settings.register_profile("thorough", max_examples=400, **_COMMON)
+
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))

@@ -190,3 +190,98 @@ def test_decode_schedule_cache_counts_repeat_survivor_sets():
     code.decode(available)
     code.decode(available)
     assert code.decoding_cache_info()["hits"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Property suite: random (k, m, w) grid x ragged payload sizes.  Example
+# budgets come from the Hypothesis profile in tests/conftest.py (bounded
+# for tier-1; `repro selftest --profile thorough` digs deeper).
+
+
+@st.composite
+def code_shapes(draw):
+    """Random valid (k, m, w) with k + m <= 2^w (Cauchy's field bound)."""
+    w = draw(st.sampled_from([2, 4, 8, 16]))
+    limit = min(1 << w, 8)
+    k = draw(st.integers(min_value=1, max_value=limit - 1))
+    m = draw(st.integers(min_value=1, max_value=min(limit - k, 4)))
+    return k, m, w
+
+
+@settings(deadline=None)
+@given(
+    shape=code_shapes(),
+    # Ragged: any multiple of w (the kernel path's only size constraint),
+    # including odd multiples and the empty block.
+    strips=st.integers(min_value=0, max_value=37),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_fast_path_matches_reference_bitmatrix(shape, strips, seed):
+    """Compiled-schedule encode == strip-at-a-time reference == field."""
+    k, m, w = shape
+    code = CauchyRSCode(CodeParams(k=k, m=m, w=w))
+    blocks = _random_blocks(k, strips * w, seed=seed, w=w)
+    fast = code.encode_bitmatrix(blocks)
+    reference = code.encode_bitmatrix_reference(blocks)
+    field = code.encode(blocks)
+    for a, b, c in zip(fast, reference, field):
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
+
+@settings(deadline=None)
+@given(
+    shape=code_shapes(),
+    strips=st.integers(min_value=1, max_value=29),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_fast_decode_matches_reference_on_random_survivors(shape, strips, seed):
+    """Kernel decode == reference decode on a random k-survivor set."""
+    k, m, w = shape
+    code = CauchyRSCode(CodeParams(k=k, m=m, w=w))
+    blocks = _random_blocks(k, strips * w, seed=seed, w=w)
+    chunks = blocks + code.encode_bitmatrix(blocks)
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(k + m, size=k, replace=False)
+    available = {int(i): chunks[int(i)] for i in ids}
+    fast = code.decode_bitmatrix(available)
+    reference = code.decode_bitmatrix_reference(available)
+    for j in range(k):
+        assert np.array_equal(fast[j], reference[j])
+        assert np.array_equal(fast[j], blocks[j])
+
+
+# Exhaustive erasure coverage on a fixed grid spanning every word size:
+# for each shape, *every* m-subset of erasures must decode bit-exactly.
+@pytest.mark.parametrize(
+    "k,m,w",
+    [(2, 1, 2), (2, 2, 2), (3, 2, 4), (4, 3, 4), (5, 3, 8), (4, 4, 8), (3, 3, 16)],
+)
+def test_every_erasure_subset_decodes_across_word_sizes(k, m, w):
+    code = CauchyRSCode(CodeParams(k=k, m=m, w=w))
+    blocks = _random_blocks(k, 24 * w, seed=k * 100 + m * 10 + w, w=w)
+    chunks = blocks + code.encode_bitmatrix(blocks)
+    for lost in itertools.combinations(range(k + m), m):
+        available = {
+            i: chunks[i] for i in range(k + m) if i not in set(lost)
+        }
+        decoded = code.decode_bitmatrix(available)
+        for j in range(k):
+            assert np.array_equal(decoded[j], blocks[j]), f"erasures {lost}"
+
+
+@settings(deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=8192),
+    shape=code_shapes().filter(lambda s: s[2] >= 8),  # raw bytes need w >= 8
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_blockencoder_roundtrip_random_grid(payload, shape, seed):
+    """Ragged payloads round-trip through the full fast encoder stack."""
+    k, m, w = shape
+    enc = BlockEncoder(CauchyRSCode(CodeParams(k=k, m=m, w=w)))
+    encoded = enc.encode(payload)
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(k + m, size=k, replace=False)
+    available = {int(i): encoded.chunks[int(i)] for i in ids}
+    assert enc.decode(available, encoded.original_length) == payload

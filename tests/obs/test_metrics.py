@@ -1,0 +1,58 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    registry.counter("saves").inc()
+    registry.counter("saves").inc(4)
+    registry.gauge("cache_size").set(7.0)
+    for value in (1.0, 3.0, 2.0):
+        registry.histogram("stall_s").observe(value)
+
+    snap = registry.snapshot()
+    assert snap["counters"]["saves"] == 5
+    assert snap["gauges"]["cache_size"] == 7.0
+    hist = snap["histograms"]["stall_s"]
+    assert hist["count"] == 3
+    assert hist["sum"] == 6.0
+    assert hist["min"] == 1.0
+    assert hist["max"] == 3.0
+    assert hist["mean"] == 2.0
+
+
+def test_same_name_returns_same_metric():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z")
+
+
+def test_counter_is_thread_safe():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+
+    def worker():
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 8000
+
+
+def test_active_registry_follows_installed_tracer():
+    assert metrics.active() is None
+    with obs.use_tracer() as tracer:
+        assert metrics.active() is tracer.metrics
+        metrics.active().counter("inner").inc()
+    assert metrics.active() is None
+    assert tracer.metrics.snapshot()["counters"]["inner"] == 1

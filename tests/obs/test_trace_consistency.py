@@ -1,0 +1,152 @@
+"""Trace-consistency: a traced chaos-style episode must self-reconcile.
+
+The tentpole's acceptance contract, as a test: run a save/crash/restore
+episode with tracing enabled and assert
+
+* spans nest correctly (no orphan, inversion, or containment violation),
+* every crash point that fired appears exactly once in the event log,
+* phase totals derived from spans reconcile with the engine's own
+  ``TimeModel`` accounting (the report breakdowns) within float
+  tolerance — torn saves contributing nothing,
+* and tracing never changes the simulation itself: a traced run and an
+  untraced run of the same seed produce identical reports.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace_io
+from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+
+REL_TOL = 1e-9
+
+
+def _build(seed=0):
+    job = TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=5e-4,
+        seed=seed,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
+    return job, engine
+
+
+def _run_episode(crash_point):
+    """Save, crash a save at ``crash_point``, fail a node, restore."""
+    job, engine = _build()
+    manager = CheckpointManager(job, engine, interval=2, remote_backup_every=2)
+    for _ in range(4):
+        job.advance()
+        manager.step()
+
+    engine.crash_injector = CrashInjector(CrashPlan(crash_point))
+    job.advance()
+    job.advance()
+    with pytest.raises(InjectedCrash):
+        manager.step()
+    engine.crash_injector = None
+
+    recovery = manager.on_failure({1})
+    return manager, recovery
+
+
+@pytest.mark.parametrize("crash_point", ["post_encode", "mid_metadata_broadcast"])
+def test_traced_episode_reconciles(crash_point):
+    with obs.use_tracer() as tracer:
+        manager, recovery = _run_episode(crash_point)
+
+    spans = [r for r in tracer.records() if r["type"] == "span"]
+    events = [r for r in tracer.records() if r["type"] == "event"]
+
+    # Spans nest: no structural problems at all.
+    assert trace_io.validate_spans(spans) == []
+
+    # The injected crash shows up exactly once in the event log, at the
+    # armed point, and matches the fired-counter.
+    fired = [e for e in events if e["name"] == "crash_point_fired"]
+    assert len(fired) == 1
+    assert fired[0]["fields"]["point"] == crash_point
+    counters = tracer.metrics.snapshot()["counters"]
+    assert counters["chaos.crash_points_fired"] == 1
+    assert counters[f"chaos.crash_points_fired.{crash_point}"] == 1
+
+    # The torn save left an uncosted span: kind=save span with sim_s None.
+    torn = [
+        s
+        for s in spans
+        if (s["attrs"] or {}).get("kind") == "save" and s["sim_s"] is None
+    ]
+    assert torn, "crashed save should leave an uncosted span behind"
+
+    # Phase totals reconcile with the *completed* reports' TimeModel
+    # accounting; the torn save contributes nothing.
+    save_breakdowns = [r.breakdown for r in manager.stats.save_reports]
+    save_breakdowns += [r.breakdown for r in manager.stats.backup_reports]
+    assert (
+        trace_io.crosscheck_totals(
+            trace_io.phase_totals(spans, kind="save"), save_breakdowns, REL_TOL
+        )
+        == []
+    )
+    assert (
+        trace_io.crosscheck_totals(
+            trace_io.phase_totals(spans, kind="restore"),
+            [recovery.breakdown],
+            REL_TOL,
+        )
+        == []
+    )
+
+    # Recovery events carry exact lost-work accounting.
+    recoveries = [e for e in events if e["name"] == "recovery"]
+    assert len(recoveries) == 1
+    assert recoveries[0]["fields"]["recovery_s"] == recovery.recovery_time
+
+
+def test_tracing_does_not_change_the_simulation():
+    """Traced and untraced runs of one seed are report-identical."""
+
+    def run():
+        manager, recovery = _run_episode("post_xor")
+        return (
+            [(r.version, r.checkpoint_time, r.stall_time, tuple(sorted(r.breakdown.items())))
+             for r in manager.stats.save_reports],
+            (recovery.version, recovery.recovery_time,
+             tuple(sorted(recovery.breakdown.items()))),
+        )
+
+    untraced = run()
+    with obs.use_tracer():
+        traced = run()
+    assert untraced == traced
+
+
+def test_traced_runner_end_to_end(tmp_path):
+    """`repro trace` acceptance: valid JSONL, crosscheck within 1e-9."""
+    import io
+
+    from repro.obs.runner import run_traced_job
+
+    path = str(tmp_path / "trace.jsonl")
+    out = io.StringIO()
+    assert run_traced_job(output=path, out=out) == 0
+    assert "crosscheck OK" in out.getvalue()
+
+    trace = trace_io.load_trace(path)
+    assert trace.meta["schema"] == trace_io.SCHEMA_VERSION
+    assert trace.meta["engine"] == "eccheck"
+    assert trace_io.validate_spans(trace.spans) == []
+    assert trace.spans_named("eccheck.save")
+    assert trace.spans_named("pipeline.encode")
+    assert trace.events_named("recovery")
+    assert trace.metrics["counters"]["manager.checkpoints"] > 0
+    # The PR-1 cache counters surface as gauges.
+    assert "cache.schedule_entries" in trace.metrics["gauges"]
+    assert "cache.decode_hits" in trace.metrics["gauges"]

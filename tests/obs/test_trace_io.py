@@ -1,0 +1,113 @@
+"""Unit tests for trace serialisation, validation, and reconciliation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import trace_io
+from repro.obs.tracer import Tracer
+
+
+def _traced_sample():
+    tracer = Tracer()
+    with tracer.span("save", kind="save", version=1) as save:
+        with tracer.span("save.step1", kind="save", phase="step1") as s1:
+            pass
+        tracer.event("checkpoint", version=1)
+        s1.add_sim(0.25)
+        save.add_sim(1.0)
+    tracer.metrics.counter("saves").inc()
+    return tracer
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    tracer = _traced_sample()
+    path = str(tmp_path / "trace.jsonl")
+    lines = trace_io.write_jsonl(tracer, path, engine="eccheck", seed=3)
+    # meta + 2 spans + 1 event + metrics
+    assert lines == 5
+
+    trace = trace_io.load_trace(path)
+    assert trace.meta["schema"] == trace_io.SCHEMA_VERSION
+    assert trace.meta["engine"] == "eccheck"
+    assert len(trace.spans) == 2
+    assert trace.spans_named("save.step1")[0]["sim_s"] == 0.25
+    assert trace.events_named("checkpoint")[0]["fields"] == {"version": 1}
+    assert trace.metrics["counters"]["saves"] == 1
+
+
+def test_load_rejects_unknown_record_type(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"type": "mystery"}) + "\n")
+    with pytest.raises(ReproError):
+        trace_io.load_trace(str(path))
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json\n")
+    with pytest.raises(ReproError):
+        trace_io.load_trace(str(path))
+
+
+def test_validate_spans_accepts_real_nesting():
+    tracer = _traced_sample()
+    spans = [r for r in tracer.records() if r["type"] == "span"]
+    assert trace_io.validate_spans(spans) == []
+
+
+def test_validate_spans_flags_structural_problems():
+    base = {"wall_s": 1.0, "sim_s": None, "thread": "t", "attrs": {}}
+    spans = [
+        {"id": 1, "parent": None, "name": "root", "start": 0.0, **base},
+        {"id": 1, "parent": None, "name": "dup", "start": 0.0, **base},
+        {"id": 2, "parent": 99, "name": "orphan", "start": 0.0, **base},
+        {"id": 3, "parent": 1, "name": "early", "start": -1.0, **base},
+        {"id": 4, "parent": 1, "name": "late", "start": 0.9, **base},
+        dict(
+            {"id": 5, "parent": None, "name": "negative", "start": 0.0, **base},
+            wall_s=-0.5,
+        ),
+    ]
+    problems = "\n".join(trace_io.validate_spans(spans))
+    assert "duplicate span id 1" in problems
+    assert "unknown parent 99" in problems
+    assert "starts before parent" in problems
+    assert "ends after parent" in problems
+    assert "bad wall_s" in problems
+
+
+def test_phase_totals_filters_kind_and_skips_uncosted():
+    spans = [
+        {"attrs": {"kind": "save", "phase": "p"}, "sim_s": 1.0},
+        {"attrs": {"kind": "save", "phase": "p"}, "sim_s": 2.0},
+        {"attrs": {"kind": "restore", "phase": "p"}, "sim_s": 8.0},
+        {"attrs": {"kind": "save", "phase": "torn"}, "sim_s": None},
+        {"attrs": {}, "sim_s": 4.0},
+    ]
+    assert trace_io.phase_totals(spans, kind="save") == {"p": 3.0}
+    assert trace_io.phase_totals(spans) == {"p": 11.0}
+
+
+def test_crosscheck_totals_detects_mismatch_and_extra_phase():
+    reports = [{"a": 1.0, "b": 2.0}, {"a": 0.5}]
+    assert trace_io.crosscheck_totals({"a": 1.5, "b": 2.0}, reports) == []
+    problems = trace_io.crosscheck_totals(
+        {"a": 1.5 + 1e-6, "ghost": 1.0}, reports
+    )
+    assert len(problems) == 2
+    assert any("ghost" in p for p in problems)
+    # Within tolerance is clean.
+    assert trace_io.crosscheck_totals({"a": 1.5 * (1 + 1e-12)}, reports) == []
+
+
+def test_summarize_digest():
+    summary = trace_io.summarize(_traced_sample())
+    assert summary["spans"] == 2
+    assert summary["events"] == 1
+    assert summary["span_counts"]["save.step1"] == 1
+    assert summary["event_counts"]["checkpoint"] == 1
+    assert summary["phase_sim_totals"] == {"step1": 0.25}
+    assert summary["nesting_problems"] == []
+    assert summary["counters"]["saves"] == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the span tracer: nesting, threads, the no-op default."""
+
+import threading
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Tracer
+
+
+def test_default_tracer_is_noop():
+    tracer = obs.get_tracer()
+    assert tracer is NULL_TRACER
+    assert not tracer.enabled
+    span = tracer.span("anything", attr=1)
+    assert span is NULL_SPAN
+    with span as s:
+        s.set(more=2)
+        s.add_sim(3.0)
+    tracer.event("ignored")
+    assert tracer.current_span() is None
+
+
+def test_spans_nest_via_thread_stack():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        assert tracer.current_span() is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current_span() is inner
+        assert tracer.current_span() is outer
+    assert tracer.current_span() is None
+
+    records = {r["name"]: r for r in tracer.records() if r["type"] == "span"}
+    assert records["inner"]["parent"] == records["outer"]["id"]
+    assert records["outer"]["parent"] is None
+    assert records["inner"]["start"] >= records["outer"]["start"]
+    assert records["inner"]["wall_s"] <= records["outer"]["wall_s"]
+
+
+def test_explicit_parent_crosses_threads():
+    tracer = Tracer()
+    with tracer.span("coordinator") as parent:
+
+        def worker():
+            with tracer.span("worker", parent=parent):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    records = {r["name"]: r for r in tracer.records() if r["type"] == "span"}
+    assert records["worker"]["parent"] == records["coordinator"]["id"]
+    assert records["worker"]["thread"] != records["coordinator"]["thread"]
+
+
+def test_add_sim_accumulates_and_survives_close():
+    tracer = Tracer()
+    with tracer.span("save") as span:
+        span.add_sim(1.5)
+    span.add_sim(2.5)  # phase sims attach after the report lands
+    record = tracer.records()[0]
+    assert record["sim_s"] == 4.0
+
+
+def test_exception_marks_span_and_propagates():
+    tracer = Tracer()
+    try:
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    record = tracer.records()[0]
+    assert record["attrs"]["error"] == "ValueError"
+    assert tracer.current_span() is None  # stack still popped
+
+
+def test_events_carry_fields_and_order():
+    tracer = Tracer()
+    tracer.event("first", n=1)
+    with tracer.span("s"):
+        tracer.event("second", n=2)
+    records = tracer.records()
+    events = [r for r in records if r["type"] == "event"]
+    assert [e["name"] for e in events] == ["first", "second"]
+    assert events[1]["fields"] == {"n": 2}
+
+
+def test_use_tracer_restores_previous():
+    assert obs.get_tracer() is NULL_TRACER
+    with obs.use_tracer() as outer:
+        assert obs.get_tracer() is outer
+        with obs.use_tracer() as inner:
+            assert obs.get_tracer() is inner
+        assert obs.get_tracer() is outer
+    assert obs.get_tracer() is NULL_TRACER
