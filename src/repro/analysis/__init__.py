@@ -23,6 +23,7 @@ from repro.analysis.overhead import (
 from repro.analysis.breakdown import (
     normalise_breakdown,
     serialization_fraction,
+    sum_breakdowns,
 )
 from repro.analysis.memory import (
     equal_redundancy_k,
@@ -43,4 +44,5 @@ __all__ = [
     "per_device_comm_bytes",
     "normalise_breakdown",
     "serialization_fraction",
+    "sum_breakdowns",
 ]

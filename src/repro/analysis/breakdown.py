@@ -44,6 +44,20 @@ def serialization_fraction(
     return serialize, transfer, serialize / (serialize + transfer)
 
 
+def sum_breakdowns(breakdowns: list[dict[str, float]]) -> dict[str, float]:
+    """Phase-wise sum over several report breakdowns.
+
+    The aggregate the trace crosscheck and the critical-path analyzer
+    both reconcile against: for a run with N saves, the traced per-phase
+    totals must equal this sum over the N ``SaveReport`` breakdowns.
+    """
+    total: dict[str, float] = {}
+    for breakdown in breakdowns:
+        for phase, seconds in breakdown.items():
+            total[phase] = total.get(phase, 0.0) + float(seconds)
+    return total
+
+
 def normalise_breakdown(breakdown: dict[str, float]) -> dict[str, float]:
     """Per-step fractions of a report's breakdown (Fig. 11's bar shares).
 

@@ -151,6 +151,8 @@ def run_benchmark(
             # matrix affordable; the headline number is the first shape.
             shape_payload = int(8 * 2**20)
         results.append(_bench_shape(k, m, w, shape_payload, repeats, threads))
+    from repro.obs.provenance import provenance_stamp
+
     doc = {
         "benchmark": "encode_throughput",
         "payload_mib": payload_mib,
@@ -159,6 +161,7 @@ def run_benchmark(
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "provenance": provenance_stamp(),
         "shapes": results,
     }
     if quick:

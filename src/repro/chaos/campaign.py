@@ -122,6 +122,11 @@ class CampaignReport:
         return {key: matrix[key] for key in sorted(matrix)}
 
     def to_dict(self) -> dict:
+        """Plain-data form of the report.
+
+        Deliberately provenance-free so identical campaigns compare equal
+        (determinism tests rely on it); :meth:`to_json` adds the stamp.
+        """
         return {
             "config": {
                 "episodes": self.config.episodes,
@@ -151,8 +156,18 @@ class CampaignReport:
             ],
         }
 
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+    def to_json(self, provenance: bool = True) -> str:
+        """JSON form for ``CHAOS_report.json``, provenance-stamped.
+
+        ``provenance=False`` omits the stamp (git SHA, timestamp,
+        hostname) for byte-stable comparisons.
+        """
+        payload = self.to_dict()
+        if provenance:
+            from repro.obs.provenance import provenance_stamp
+
+            payload["provenance"] = provenance_stamp()
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     def render(self) -> str:
         """ASCII summary: the outcome matrix plus the violation count."""

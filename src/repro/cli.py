@@ -155,10 +155,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL trace path ('' to skip writing)",
     )
     trace.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory to place the trace file in (created if missing)",
+    )
+    trace.add_argument(
+        "--keep-failed",
+        action="store_true",
+        help="keep the trace file even when the crosscheck fails "
+        "(default: the temp file is removed on failure)",
+    )
+    trace.add_argument(
         "--rel-tol",
         type=float,
         default=1e-9,
         help="relative tolerance for the phase-total crosscheck",
+    )
+
+    export = sub.add_parser(
+        "export-trace",
+        help="convert a JSONL trace to Chrome trace-event JSON for "
+        "chrome://tracing / Perfetto",
+    )
+    export.add_argument("trace", help="JSONL trace file from 'repro trace'")
+    export.add_argument(
+        "--output",
+        default=None,
+        help="Chrome-trace JSON path (default: <trace>.perfetto.json)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical-path, utilization and idle-slot analysis of a "
+        "JSONL trace",
+    )
+    analyze.add_argument("trace", help="JSONL trace file from 'repro trace'")
+
+    history = sub.add_parser(
+        "bench-history",
+        help="append a bench result to the history and gate against the "
+        "rolling baseline (exit 1 on regression)",
+    )
+    history.add_argument(
+        "--input",
+        default="BENCH_encode_throughput.json",
+        help="bench results document to record",
+    )
+    history.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="history JSONL to append to and gate against",
+    )
+    history.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative slowdown that fails the gate (default 0.15)",
+    )
+    history.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="rolling-baseline window (prior comparable runs)",
+    )
+    history.add_argument(
+        "--check-only",
+        action="store_true",
+        help="gate the newest existing history entry without appending",
     )
 
     selftest = sub.add_parser(
@@ -215,6 +278,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _chaos(args, out)
     if args.command == "trace":
         return _trace(args, out)
+    if args.command == "export-trace":
+        return _export_trace(args, out)
+    if args.command == "analyze":
+        return _analyze(args, out)
+    if args.command == "bench-history":
+        return _bench_history(args, out)
     if args.command == "selftest":
         return _selftest(args, out)
     if args.command == "bench-encode":
@@ -272,9 +341,94 @@ def _trace(args, out) -> int:
         fail_nodes=fail_nodes,
         seed=args.seed,
         output=args.output,
+        out_dir=args.out_dir,
         rel_tol=args.rel_tol,
+        keep_failed=args.keep_failed,
         out=out,
     )
+
+
+def _load_trace_or_fail(path: str):
+    import os
+
+    from repro.obs import load_trace
+
+    if not os.path.exists(path):
+        print(f"trace file not found: {path}", file=sys.stderr)
+        return None
+    return load_trace(path)
+
+
+def _export_trace(args, out) -> int:
+    """Convert a JSONL trace into Chrome trace-event JSON; 0 on success."""
+    from repro.obs import export_chrome_trace, validate_chrome_trace, write_chrome_trace
+
+    trace = _load_trace_or_fail(args.trace)
+    if trace is None:
+        return 2
+    output = args.output or f"{args.trace}.perfetto.json"
+    problems = validate_chrome_trace(export_chrome_trace(trace))
+    events = write_chrome_trace(trace, output)
+    print(f"wrote {output} ({events} trace events)", file=out)
+    for problem in problems:
+        print(f"EXPORT PROBLEM: {problem}", file=out)
+    return 1 if problems else 0
+
+
+def _analyze(args, out) -> int:
+    """Analyze a JSONL trace; exit non-zero on structural problems."""
+    from repro.obs import analyze_trace, render_analysis, validate_spans
+
+    trace = _load_trace_or_fail(args.trace)
+    if trace is None:
+        return 2
+    problems = validate_spans(trace.spans)
+    analysis = analyze_trace(trace)
+    print(render_analysis(analysis), file=out)
+    for problem in problems:
+        print(f"TRACE PROBLEM: {problem}", file=out)
+    return 1 if problems or analysis.crosscheck_problems else 0
+
+
+def _bench_history(args, out) -> int:
+    """Record/gate a bench run; exit 1 on regression, 2 on missing input."""
+    import json
+    import os
+
+    from repro.obs.regression import (
+        append_history,
+        check_regression,
+        load_history,
+        render_result,
+    )
+
+    if args.check_only:
+        history = load_history(args.history)
+        if not history:
+            print(f"no history at {args.history}", file=sys.stderr)
+            return 2
+    else:
+        if not os.path.exists(args.input):
+            print(
+                f"bench results not found: {args.input} "
+                "(run `repro bench-encode` first)",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.input, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        entry = append_history(doc, args.history)
+        history = load_history(args.history)
+        sha = entry["provenance"].get("git_sha", "unknown")[:12]
+        print(
+            f"recorded run {sha} ({len(history)} entries in {args.history})",
+            file=out,
+        )
+    result = check_regression(
+        history, threshold=args.threshold, window=args.window
+    )
+    print(render_result(result), file=out)
+    return 1 if result.regressions else 0
 
 
 def _selftest(args, out) -> int:

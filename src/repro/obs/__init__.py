@@ -21,7 +21,31 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.obs import metrics as _metrics_mod
+from repro.obs.critical_path import (
+    IdleSlotReport,
+    PipelineCriticalPath,
+    TraceAnalysis,
+    analyze_trace,
+    idle_slot_report,
+    pipeline_critical_path,
+    render_analysis,
+    thread_utilization,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import provenance_stamp
+from repro.obs.regression import (
+    MetricDelta,
+    RegressionResult,
+    append_history,
+    check_regression,
+    history_entry,
+    load_history,
+)
+from repro.obs.trace_export import (
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.trace_io import (
     Trace,
     crosscheck_totals,
@@ -92,20 +116,38 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "IdleSlotReport",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PipelineCriticalPath",
+    "RegressionResult",
     "Span",
     "Trace",
+    "TraceAnalysis",
     "Tracer",
+    "analyze_trace",
+    "append_history",
+    "check_regression",
     "crosscheck_totals",
+    "export_chrome_trace",
     "get_tracer",
+    "history_entry",
+    "idle_slot_report",
     "install",
+    "load_history",
     "load_trace",
     "phase_totals",
+    "pipeline_critical_path",
+    "provenance_stamp",
     "record_phases",
+    "render_analysis",
     "summarize",
+    "thread_utilization",
     "use_tracer",
+    "validate_chrome_trace",
     "validate_spans",
+    "write_chrome_trace",
     "write_jsonl",
 ]

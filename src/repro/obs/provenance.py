@@ -1,0 +1,62 @@
+"""Provenance stamping for result artifacts.
+
+Every JSON artifact the repo emits (``BENCH_encode_throughput.json``,
+``CHAOS_report.json``, bench-history entries, exported traces) carries the
+same stamp so that a number can always be traced back to the commit,
+machine and toolchain that produced it.  The stamp is best-effort: outside
+a git checkout the SHA degrades to ``"unknown"`` rather than failing the
+run that produced the result.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def git_dirty(cwd: Optional[str] = None) -> bool:
+    """True when the working tree has uncommitted changes (best effort)."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return out.returncode == 0 and bool(out.stdout.strip())
+
+
+def provenance_stamp(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """Attributable run context: commit, time, host, toolchain versions."""
+    import numpy as np
+
+    return {
+        "git_sha": git_sha(cwd),
+        "git_dirty": git_dirty(cwd),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "hostname": platform.node() or "unknown",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }

@@ -1,0 +1,246 @@
+"""Bench history and performance-regression gating.
+
+Every ``repro bench-encode`` run produces a ``BENCH_encode_throughput.json``
+document; this module turns those one-off documents into a history and a
+gate:
+
+* :func:`history_entry` compresses a results document into one
+  provenance-stamped JSONL record (git SHA, UTC timestamp, hostname,
+  toolchain versions, per-shape fast-path throughputs).
+* :func:`append_history` appends it to ``BENCH_history.jsonl``.
+* :func:`check_regression` compares the newest entry against a rolling
+  baseline (median of the previous ``window`` comparable runs) with a
+  noise bound: the effective threshold is the larger of the configured
+  threshold (15% by default) and twice the baseline window's observed
+  relative spread, so a machine whose runs jitter by 10% does not
+  page on a 10% "regression" — but a genuine 20% slowdown always does.
+
+Entries are only compared against prior runs with the same context
+(payload size, quick flag, shape, repeats): a 4 MiB smoke run never
+baselines a 64 MiB measurement.
+
+``repro bench-history`` drives all of this and exits non-zero on any
+regression, which is what CI's perf gate runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.provenance import provenance_stamp
+
+HISTORY_SCHEMA = 1
+
+#: Metrics tracked per shape: the fast-path throughputs PR 1 optimised.
+TRACKED_PATHS = ("fast_encode", "pool_encode", "fast_decode")
+
+DEFAULT_THRESHOLD = 0.15
+DEFAULT_WINDOW = 5
+#: Noise bound multiplier: effective threshold >= this x baseline spread.
+NOISE_FACTOR = 2.0
+
+
+def _context_key(doc: Dict[str, Any], shape: Dict[str, Any]) -> str:
+    """Comparability key: only like-for-like runs baseline each other."""
+    return (
+        f"payload={doc.get('payload_mib')},quick={bool(doc.get('quick'))},"
+        f"repeats={doc.get('repeats')},shape=({shape['k']},{shape['m']},{shape['w']})"
+    )
+
+
+def history_entry(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """One compact, provenance-stamped history record for a bench document.
+
+    Raises:
+        ReproError: if the document is not an encode-throughput result.
+    """
+    if doc.get("benchmark") != "encode_throughput" or "shapes" not in doc:
+        raise ReproError(
+            "not an encode-throughput results document "
+            f"(benchmark={doc.get('benchmark')!r})"
+        )
+    shapes = []
+    for shape in doc["shapes"]:
+        shapes.append(
+            {
+                "context": _context_key(doc, shape),
+                "k": shape["k"],
+                "m": shape["m"],
+                "w": shape["w"],
+                "throughput_mib_s": {
+                    path: shape["throughput_mib_s"][path]
+                    for path in TRACKED_PATHS
+                    if path in shape["throughput_mib_s"]
+                },
+            }
+        )
+    return {
+        "schema": HISTORY_SCHEMA,
+        "provenance": doc.get("provenance") or provenance_stamp(),
+        "payload_mib": doc.get("payload_mib"),
+        "quick": bool(doc.get("quick")),
+        "repeats": doc.get("repeats"),
+        "shapes": shapes,
+    }
+
+
+def append_history(doc: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Append the document's history entry to ``path``; returns the entry."""
+    entry = history_entry(doc)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Parse a ``BENCH_history.jsonl`` file (oldest first)."""
+    if not os.path.exists(path):
+        return []
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{lineno}: invalid JSON: {exc}")
+    return entries
+
+
+@dataclass
+class MetricDelta:
+    """One metric's newest value against its rolling baseline."""
+
+    context: str
+    path: str
+    current: float
+    baseline: float
+    samples: int
+    spread: float
+    threshold: float
+
+    @property
+    def delta_fraction(self) -> float:
+        """Relative change vs baseline; negative = slower."""
+        if self.baseline <= 0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        return self.delta_fraction < -self.threshold
+
+
+@dataclass
+class RegressionResult:
+    """Outcome of gating the newest history entry."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    fresh: List[str] = field(default_factory=list)  # metrics with no baseline
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_regression(
+    history: List[Dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    noise_factor: float = NOISE_FACTOR,
+) -> RegressionResult:
+    """Gate the newest history entry against its rolling baseline.
+
+    For each (context, path) metric of the newest entry, the baseline is
+    the median of that metric over the previous ``window`` comparable
+    entries.  The effective threshold is
+    ``max(threshold, noise_factor * spread)`` where ``spread`` is the
+    baseline window's max relative deviation from its median — runs
+    noisier than the configured threshold raise the bar instead of
+    producing false alarms.  Metrics never seen before are reported as
+    ``fresh`` and pass.
+
+    Raises:
+        ReproError: for an empty history or a non-positive window.
+    """
+    if not history:
+        raise ReproError("empty bench history; run `repro bench-encode` first")
+    if window < 1:
+        raise ReproError(f"window must be >= 1, got {window}")
+    current, prior = history[-1], history[:-1]
+
+    past: Dict[tuple, List[float]] = {}
+    for entry in prior:
+        for shape in entry.get("shapes", []):
+            for path, value in shape.get("throughput_mib_s", {}).items():
+                past.setdefault((shape["context"], path), []).append(float(value))
+
+    result = RegressionResult()
+    for shape in current.get("shapes", []):
+        for path, value in shape.get("throughput_mib_s", {}).items():
+            key = (shape["context"], path)
+            series = past.get(key, [])[-window:]
+            if not series:
+                result.fresh.append(f"{shape['context']}/{path}")
+                continue
+            baseline = _median(series)
+            spread = (
+                max(abs(v - baseline) / baseline for v in series)
+                if baseline > 0
+                else 0.0
+            )
+            result.deltas.append(
+                MetricDelta(
+                    context=shape["context"],
+                    path=path,
+                    current=float(value),
+                    baseline=baseline,
+                    samples=len(series),
+                    spread=spread,
+                    threshold=max(threshold, noise_factor * spread),
+                )
+            )
+    return result
+
+
+def render_result(result: RegressionResult) -> str:
+    """ASCII delta table for ``repro bench-history``."""
+    lines = [
+        f"{'context':<52} {'path':<12} {'MiB/s':>10} {'baseline':>10} "
+        f"{'delta':>8} {'gate':>7}"
+    ]
+    for d in sorted(result.deltas, key=lambda d: (d.context, d.path)):
+        verdict = "REGRESS" if d.regressed else "ok"
+        lines.append(
+            f"{d.context:<52} {d.path:<12} {d.current:>10.1f} "
+            f"{d.baseline:>10.1f} {d.delta_fraction:>+7.1%} {verdict:>7}"
+        )
+    for name in result.fresh:
+        lines.append(f"{name}: first run, no baseline yet")
+    if result.regressions:
+        lines.append(
+            f"{len(result.regressions)} regression(s) beyond the noise-bounded "
+            "threshold"
+        )
+    elif result.deltas:
+        lines.append("no regressions")
+    return "\n".join(lines)

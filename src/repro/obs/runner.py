@@ -12,12 +12,13 @@ second opinion.
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import obs
 from repro.errors import ReproError
 from repro.obs import trace_io
-from repro.analysis.breakdown import normalise_breakdown
+from repro.analysis.breakdown import normalise_breakdown, sum_breakdowns
 from repro.checkpoint.job import TrainingJob
 from repro.checkpoint.manager import CheckpointManager
 from repro.checkpoint.replication import GeminiReplicationEngine
@@ -64,14 +65,6 @@ def _snapshot_cache_gauges(tracer, engine) -> None:
             tracer.metrics.gauge(f"cache.decode_{key}").set(float(value))
 
 
-def _sum_breakdowns(breakdowns: list[dict[str, float]]) -> dict[str, float]:
-    want: dict[str, float] = {}
-    for breakdown in breakdowns:
-        for phase, seconds in breakdown.items():
-            want[phase] = want.get(phase, 0.0) + float(seconds)
-    return want
-
-
 def _phase_table(title: str, totals: dict[str, float], want: dict[str, float]) -> list[str]:
     lines = [title, f"  {'phase':<28} {'traced_s':>12} {'reports_s':>12} {'share':>7}"]
     grand = sum(totals.values())
@@ -95,7 +88,9 @@ def run_traced_job(
     scale: float = 5e-4,
     seed: int = 0,
     output: str = "TRACE_run.jsonl",
+    out_dir: str | None = None,
     rel_tol: float = 1e-9,
+    keep_failed: bool = False,
     out=None,
 ) -> int:
     """Run a traced save/restore job; return 0 iff the trace reconciles.
@@ -104,8 +99,18 @@ def run_traced_job(
     tables for the save and restore paths, each cross-checked against the
     engine's report breakdowns via
     :func:`repro.obs.trace_io.crosscheck_totals`.
+
+    ``out_dir`` places the trace file (and any relative ``output`` path)
+    inside a directory, creating it if needed.  The trace is written via
+    a temporary ``<output>.tmp`` file that is promoted only when the
+    crosscheck reconciles; on failure the temp file is removed (pass
+    ``keep_failed=True`` to promote it anyway for debugging), so a failed
+    run never leaves a partial/misleading JSONL behind.
     """
     out = out or sys.stdout
+    if output and out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        output = os.path.join(out_dir, os.path.basename(output))
     job, engine = build_traced_job(engine_name, model, scale, seed)
     supports_backup = hasattr(engine, "save_remote_backup")
     with obs.use_tracer() as tracer:
@@ -144,29 +149,43 @@ def run_traced_job(
     )
     if save_totals:
         table = _phase_table(
-            "save phases:", save_totals, _sum_breakdowns(save_breakdowns)
+            "save phases:", save_totals, sum_breakdowns(save_breakdowns)
         )
         print("\n".join(table), file=out)
     if restore_totals:
         table = _phase_table(
-            "restore phases:", restore_totals, _sum_breakdowns(restore_breakdowns)
+            "restore phases:", restore_totals, sum_breakdowns(restore_breakdowns)
         )
         print("\n".join(table), file=out)
     counters = tracer.metrics.snapshot()["counters"]
     for name in sorted(counters):
         print(f"  counter {name} = {counters[name]}", file=out)
     if output:
-        written = trace_io.write_jsonl(
-            tracer,
-            output,
-            engine=engine_name,
-            model=model,
-            scale=scale,
-            seed=seed,
-            iterations=iterations,
-            interval=interval,
-        )
-        print(f"trace written to {output} ({written} records)", file=out)
+        tmp_path = output + ".tmp"
+        try:
+            written = trace_io.write_jsonl(
+                tracer,
+                tmp_path,
+                engine=engine_name,
+                model=model,
+                scale=scale,
+                seed=seed,
+                iterations=iterations,
+                interval=interval,
+                nodes=job.cluster.num_nodes,
+            )
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+            raise
+        if problems and not keep_failed:
+            os.remove(tmp_path)
+            print(
+                f"crosscheck failed; removed temp trace {tmp_path}", file=out
+            )
+        else:
+            os.replace(tmp_path, output)
+            print(f"trace written to {output} ({written} records)", file=out)
     if problems:
         for problem in problems:
             print(f"TRACE PROBLEM: {problem}", file=out)

@@ -24,7 +24,12 @@ from repro.sim.network import (
     TransferRequest,
     gbps,
 )
-from repro.sim.timeline import IterationTimeline, Interval, pipeline_schedule_timeline
+from repro.sim.timeline import (
+    IterationTimeline,
+    Interval,
+    intersect_intervals,
+    pipeline_schedule_timeline,
+)
 from repro.sim.failures import (
     FailureEvent,
     concurrent_failure_counts,
@@ -44,6 +49,7 @@ __all__ = [
     "gbps",
     "IterationTimeline",
     "Interval",
+    "intersect_intervals",
     "pipeline_schedule_timeline",
     "FailureEvent",
     "concurrent_failure_counts",

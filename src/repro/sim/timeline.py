@@ -78,6 +78,31 @@ def total_duration(intervals: list[Interval]) -> float:
     return sum(i.duration for i in merge_intervals(intervals))
 
 
+def intersect_intervals(
+    a: list[Interval], b: list[Interval]
+) -> list[Interval]:
+    """Pairwise intersection of two interval sets, merged and sorted.
+
+    The returned list covers exactly the time present in *both* inputs —
+    e.g. checkpoint traffic windows that collide with NIC-busy training
+    windows.  Either input may be unmerged or unsorted.
+    """
+    left = merge_intervals(a)
+    right = merge_intervals(b)
+    out: list[Interval] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        start = max(left[i].start, right[j].start)
+        end = min(left[i].end, right[j].end)
+        if start < end:
+            out.append(Interval(start, end))
+        if left[i].end <= right[j].end:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
 @dataclass
 class IterationTimeline:
     """Busy/idle structure of one training iteration.

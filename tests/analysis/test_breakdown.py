@@ -64,3 +64,49 @@ def test_fig11_shape_step3_dominates():
     shares = normalise_breakdown(steps)
     assert shares["step3_encode_xor_p2p"] > 0.6
     assert shares["step2_metadata_broadcast"] < 0.05
+
+
+def test_sum_breakdowns():
+    from repro.analysis.breakdown import sum_breakdowns
+
+    assert sum_breakdowns([]) == {}
+    total = sum_breakdowns([{"a": 1.0, "b": 2.0}, {"a": 0.5, "c": 3.0}])
+    assert total == {"a": 1.5, "b": 2.0, "c": 3.0}
+
+
+@pytest.mark.parametrize("engine_name", ["eccheck", "base1", "base2", "base3"])
+def test_breakdown_figures_agree_with_trace_analyzer(engine_name):
+    """The figures' per-phase sim-seconds (summed report breakdowns) and the
+    critical-path analyzer's traced totals must agree at 1e-9 for every
+    engine -- the same reconciliation `repro analyze` performs."""
+    from tests.obs.conftest import run_traced_episode
+    from repro.analysis.breakdown import sum_breakdowns
+    from repro.obs.trace_io import Trace
+    from repro.obs.critical_path import analyze_trace
+
+    episode = run_traced_episode(engine_name, iterations=4, interval=2)
+    trace = Trace(
+        meta={"engine": engine_name, "interval": 2, "nodes": 4},
+        spans=episode.spans,
+        events=episode.events,
+        metrics=episode.tracer.metrics.snapshot(),
+    )
+    analysis = analyze_trace(
+        trace,
+        save_breakdowns=episode.save_breakdowns,
+        restore_breakdowns=episode.restore_breakdowns,
+        rel_tol=1e-9,
+    )
+    assert analysis.crosscheck_problems == []
+    # Every traced phase total matches the engine-report aggregate exactly
+    # within tolerance, both ways of slicing the same physics.
+    expected = sum_breakdowns(episode.save_breakdowns)
+    for phase, traced in analysis.save_phase_totals.items():
+        assert traced == pytest.approx(expected[phase], rel=1e-9), (
+            f"{engine_name}: save phase {phase}"
+        )
+    expected = sum_breakdowns(episode.restore_breakdowns)
+    for phase, traced in analysis.restore_phase_totals.items():
+        assert traced == pytest.approx(expected[phase], rel=1e-9), (
+            f"{engine_name}: restore phase {phase}"
+        )

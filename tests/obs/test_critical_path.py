@@ -1,0 +1,270 @@
+"""Critical-path / utilization / idle-slot analyses: synthetic DAGs with
+brute-force cross-checks, plus invariants on a real traced run."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.critical_path import (
+    PIPELINE_STAGES,
+    analyze_trace,
+    idle_slot_report,
+    pipeline_critical_path,
+    render_analysis,
+    thread_utilization,
+)
+from repro.obs.trace_io import Trace
+
+
+def _span(sid, name, start, wall, parent=None, thread="MainThread", **attrs):
+    return {
+        "id": sid,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "wall_s": wall,
+        "sim_s": None,
+        "thread": thread,
+        "attrs": attrs,
+    }
+
+
+def _pipeline_spans(walls, parent=100):
+    """Stage spans for a save: walls[stage][item] wall seconds.
+
+    Starts are synthesised in dependency order so queue-order sorting
+    sees items in sequence.
+    """
+    spans = [_span(parent, "engine.save", 0.0, 1000.0)]
+    sid = parent + 1
+    finish = {}
+    for s, stage_walls in enumerate(walls):
+        for i, wall in enumerate(stage_walls):
+            start = max(
+                finish.get((s, i - 1), 0.0), finish.get((s - 1, i), 0.0)
+            )
+            finish[(s, i)] = start + wall
+            spans.append(
+                _span(
+                    sid,
+                    PIPELINE_STAGES[s],
+                    start,
+                    wall,
+                    parent=parent,
+                    thread=f"worker-{s}",
+                )
+            )
+            sid += 1
+    return spans
+
+
+def _brute_force_critical(walls):
+    """Max-weight monotone path from (0, 0) to (last stage, last item)."""
+    stages, items = len(walls), len(walls[0])
+    best = 0.0
+    # A monotone lattice path is a choice of which steps are "next item".
+    for item_steps in itertools.combinations(
+        range(stages + items - 2), items - 1
+    ):
+        s = i = 0
+        total = walls[0][0]
+        for step in range(stages + items - 2):
+            if step in item_steps:
+                i += 1
+            else:
+                s += 1
+            total += walls[s][i]
+        best = max(best, total)
+    return best
+
+
+class TestPipelineCriticalPath:
+    @pytest.mark.parametrize(
+        "walls",
+        [
+            [[5.0, 1.0], [4.0, 1.0], [1.0, 1.0]],
+            [[1.0, 1.0, 1.0], [1.0, 9.0, 1.0], [2.0, 1.0, 3.0]],
+            [[0.5], [0.25], [0.125]],
+            [[1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0], [1.0, 1.0, 1.0, 1.0]],
+        ],
+    )
+    def test_matches_brute_force(self, walls):
+        (report,) = pipeline_critical_path(_pipeline_spans(walls))
+        assert report.items == len(walls[0])
+        want = _brute_force_critical(walls)
+        assert report.critical_wall_s == pytest.approx(want, rel=1e-12)
+
+    def test_path_is_a_valid_chain(self):
+        walls = [[1.0, 2.0, 3.0], [3.0, 2.0, 1.0], [1.0, 5.0, 1.0]]
+        (report,) = pipeline_critical_path(_pipeline_spans(walls))
+        # Monotone through the DAG, one dependency edge per hop.
+        for a, b in zip(report.path, report.path[1:]):
+            assert (b.stage, b.item) in (
+                (a.stage + 1, a.item),
+                (a.stage, a.item + 1),
+            )
+        assert (report.path[0].stage, report.path[0].item) == (0, 0)
+        last = report.path[-1]
+        assert (last.stage, last.item) == (len(walls) - 1, report.items - 1)
+        assert report.critical_wall_s == pytest.approx(
+            sum(n.wall_s for n in report.path)
+        )
+
+    def test_totals_and_bottleneck(self):
+        walls = [[5.0, 1.0], [1.0, 1.0], [1.0, 2.0]]
+        (report,) = pipeline_critical_path(_pipeline_spans(walls))
+        assert report.stage_wall_totals == {
+            "pipeline.encode": 6.0,
+            "pipeline.xor_reduce": 2.0,
+            "pipeline.transfer": 3.0,
+        }
+        assert report.bottleneck_stage == "pipeline.encode"
+        assert report.serial_wall_s == pytest.approx(11.0)
+        assert 1.0 <= report.overlap_efficiency <= len(PIPELINE_STAGES)
+
+    def test_torn_save_with_uneven_items_is_skipped(self):
+        spans = _pipeline_spans([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]])
+        spans = [
+            s
+            for s in spans
+            if not (s["name"] == "pipeline.transfer" and s["start"] > 0)
+        ]
+        assert pipeline_critical_path(spans) == []
+
+    def test_non_pipeline_spans_are_ignored(self):
+        spans = [
+            _span(1, "engine.save", 0.0, 1.0),
+            _span(2, "engine.save.step1", 0.0, 0.5, parent=1),
+        ]
+        assert pipeline_critical_path(spans) == []
+
+    def test_traced_run_has_one_path_per_pipelined_save(self, traced_run):
+        reports = pipeline_critical_path(traced_run.trace.spans)
+        assert len(reports) == len(traced_run.trace.spans_named("eccheck.save"))
+        for report in reports:
+            assert report.items >= 1
+            # A chain executes sequentially in wall time, so the pipeline's
+            # real makespan bounds it (modulo clock-read jitter).
+            assert report.critical_wall_s <= report.makespan_wall_s + 1e-3
+            assert report.critical_wall_s <= report.serial_wall_s + 1e-9
+            assert (
+                max(report.stage_wall_totals.values())
+                <= report.critical_wall_s + 1e-9
+            )
+            assert 1.0 <= report.overlap_efficiency <= len(PIPELINE_STAGES)
+
+
+class TestThreadUtilization:
+    def test_leaf_spans_only(self):
+        spans = [
+            _span(1, "outer", 0.0, 10.0),
+            _span(2, "inner", 1.0, 2.0, parent=1),
+            _span(3, "inner", 2.0, 4.0, parent=1, thread="worker"),
+        ]
+        util = thread_utilization(spans)
+        assert util["MainThread"]["busy_s"] == pytest.approx(2.0)
+        assert util["MainThread"]["busy_fraction"] == pytest.approx(0.2)
+        assert util["worker"]["busy_s"] == pytest.approx(4.0)
+        assert util["worker"]["busy_fraction"] == pytest.approx(0.4)
+
+    def test_overlapping_leaves_merge(self):
+        spans = [
+            _span(1, "a", 0.0, 5.0),
+            _span(2, "b", 3.0, 5.0),
+        ]
+        util = thread_utilization(spans)
+        assert util["MainThread"]["busy_s"] == pytest.approx(8.0)
+        assert util["MainThread"]["spans"] == 2
+
+    def test_empty(self):
+        assert thread_utilization([]) == {}
+
+    def test_traced_run_bounds(self, traced_run):
+        util = thread_utilization(traced_run.trace.spans)
+        assert "MainThread" in util
+        assert "eccheck-encode" in util
+        assert "eccheck-xor-reduce" in util
+        assert "eccheck-p2p" in util
+        for stats in util.values():
+            assert 0.0 <= stats["busy_fraction"] <= 1.0
+            assert stats["busy_s"] >= 0.0
+            assert stats["spans"] >= 1
+
+
+class TestIdleSlotReport:
+    def test_traced_run_invariants(self, traced_run):
+        report = idle_slot_report(traced_run.trace)
+        assert report is not None
+        saves = [
+            s
+            for s in traced_run.trace.spans
+            if (s.get("attrs") or {}).get("kind") == "save"
+            and s.get("parent") is None
+            and s.get("sim_s") is not None
+        ]
+        assert report.saves == len(saves)
+        assert report.interval_iterations == traced_run.trace.meta["interval"]
+        assert report.iteration_time_s > 0
+        assert 0.0 <= report.idle_fraction <= 1.0
+        assert report.comm_seconds_per_save > 0
+        assert report.in_idle_seconds + report.overflow_seconds == pytest.approx(
+            report.comm_seconds_per_save
+        )
+        assert report.in_idle_bytes + report.collided_bytes == pytest.approx(
+            report.bytes_inter_node_per_save
+        )
+        assert 0.0 <= report.in_idle_fraction <= 1.0
+        assert report.fits_in_idle == (report.overflow_seconds == 0.0)
+        assert report.naive_collision_seconds >= 0.0
+
+    def test_empty_trace_yields_none(self):
+        assert idle_slot_report(Trace()) is None
+
+    def test_no_inter_node_volume_yields_none(self, traced_run):
+        stripped = Trace(
+            meta=traced_run.trace.meta,
+            spans=traced_run.trace.spans,
+            events=traced_run.trace.events,
+            metrics={"counters": {}},
+        )
+        assert idle_slot_report(stripped) is None
+
+
+class TestAnalyzeTrace:
+    def test_crosschecks_against_reports(self, traced_run):
+        analysis = analyze_trace(
+            traced_run.trace,
+            save_breakdowns=traced_run.save_breakdowns,
+            restore_breakdowns=traced_run.restore_breakdowns,
+            rel_tol=1e-9,
+        )
+        assert analysis.crosscheck_problems == []
+        assert analysis.save_phase_totals
+        assert analysis.restore_phase_totals
+        assert analysis.critical_paths
+        assert analysis.utilization
+        assert analysis.idle_slots is not None
+
+    def test_perturbed_breakdown_is_flagged(self, traced_run):
+        perturbed = [dict(b) for b in traced_run.save_breakdowns]
+        key = next(iter(perturbed[0]))
+        perturbed[0][key] *= 1.0 + 1e-6
+        analysis = analyze_trace(
+            traced_run.trace, save_breakdowns=perturbed, rel_tol=1e-9
+        )
+        assert analysis.crosscheck_problems
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ReproError):
+            analyze_trace(Trace())
+
+    def test_render_mentions_every_section(self, traced_run):
+        analysis = analyze_trace(traced_run.trace)
+        text = render_analysis(analysis)
+        assert "save phases (sim):" in text
+        assert "restore phases (sim):" in text
+        assert "pipeline critical paths (wall):" in text
+        assert "thread utilization (wall):" in text
+        assert "idle-slot placement (sim):" in text
+        assert "CROSSCHECK PROBLEM" not in text

@@ -84,3 +84,92 @@ def test_chaos_engine_filter():
     )
     assert code == 0
     assert "recovery cycles" in output
+
+
+@pytest.fixture(scope="module")
+def traced_file(tmp_path_factory):
+    """A small traced run emitted through the CLI, shared by the
+    export-trace / analyze tests."""
+    out_dir = tmp_path_factory.mktemp("trace_cli")
+    code, output = run_cli(
+        "trace", "--iterations", "4",
+        "--out-dir", str(out_dir), "--output", "smoke.jsonl",
+    )
+    assert code == 0
+    assert "crosscheck OK" in output
+    return out_dir / "smoke.jsonl"
+
+
+def test_trace_out_dir_places_file(traced_file):
+    assert traced_file.exists()
+    assert not traced_file.with_suffix(".jsonl.tmp").exists()
+
+
+def test_trace_crosscheck_failure_removes_temp(tmp_path, monkeypatch):
+    from repro.obs import trace_io
+
+    monkeypatch.setattr(
+        trace_io, "crosscheck_totals", lambda *a, **k: ["forced mismatch"]
+    )
+    code, output = run_cli(
+        "trace", "--iterations", "2",
+        "--out-dir", str(tmp_path), "--output", "bad.jsonl",
+    )
+    assert code == 1
+    assert "removed temp trace" in output
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_trace_crosscheck_failure_keep_failed(tmp_path, monkeypatch):
+    from repro.obs import trace_io
+
+    monkeypatch.setattr(
+        trace_io, "crosscheck_totals", lambda *a, **k: ["forced mismatch"]
+    )
+    code, _ = run_cli(
+        "trace", "--iterations", "2", "--keep-failed",
+        "--out-dir", str(tmp_path), "--output", "bad.jsonl",
+    )
+    assert code == 1
+    assert (tmp_path / "bad.jsonl").exists()
+
+
+def test_export_trace_subcommand(traced_file, tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    output = tmp_path / "smoke.perfetto.json"
+    code, text = run_cli(
+        "export-trace", str(traced_file), "--output", str(output)
+    )
+    assert code == 0
+    assert "trace events" in text
+    doc = json.loads(output.read_text())
+    assert validate_chrome_trace(doc) == []
+
+
+def test_export_trace_default_output_name(traced_file):
+    code, text = run_cli("export-trace", str(traced_file))
+    assert code == 0
+    default = traced_file.parent / (traced_file.name + ".perfetto.json")
+    assert default.exists()
+
+
+def test_export_trace_missing_file(tmp_path):
+    code, _ = run_cli("export-trace", str(tmp_path / "absent.jsonl"))
+    assert code == 2
+
+
+def test_analyze_subcommand(traced_file):
+    code, text = run_cli("analyze", str(traced_file))
+    assert code == 0
+    assert "save phases (sim):" in text
+    assert "pipeline critical paths (wall):" in text
+    assert "thread utilization (wall):" in text
+    assert "idle-slot placement (sim):" in text
+
+
+def test_analyze_missing_file(tmp_path):
+    code, _ = run_cli("analyze", str(tmp_path / "absent.jsonl"))
+    assert code == 2
