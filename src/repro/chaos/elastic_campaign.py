@@ -1,0 +1,506 @@
+"""Seeded elastic-membership chaos campaigns.
+
+One *episode* builds the standard testbed (4 nodes x 2 GPUs, TP=2 /
+PP=4) with an ECCheck engine under an
+:class:`~repro.elastic.controller.ElasticClusterController` and walks a
+simulated clock through rounds of:
+
+1. train and checkpoint (degraded saves included — after every one the
+   :func:`~repro.chaos.invariants.check_degraded_recoverable` oracle
+   re-derives the any-``m'``-further-failures guarantee from raw
+   storage);
+2. optionally crash a save mid-flight, leaving a torn version;
+3. fail a random *survivable* subset of the live ranks — survivable is
+   decided by the independent oracle, not the engine — then let the
+   controller restore, request spares (pools are sampled small enough
+   that some episodes exhaust them) and regroup to a shrunk shape;
+4. admit provisioned spares, optionally crashing the background repair
+   at one of its :data:`~repro.elastic.repair.REPAIR_CRASH_POINTS`; a
+   crashed repair's ledger is checked for crash consistency and then
+   resumed;
+5. occasionally consult the adaptive redundancy policy at full strength.
+
+Every episode must end at full redundancy: any still-dead ranks receive
+manually provisioned machines (modelling operator intervention once the
+spare pool ran dry), the last repair generation commits, the manager's
+degraded window closes, and a final pure-restart restore must land on
+the oracle's version with bit-exact worker states.
+
+Every random draw flows from ``default_rng([seed, episode])`` so a
+fixed seed gates CI deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.errors import RecoveryError
+from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
+from repro.chaos.invariants import (
+    check_degraded_recoverable,
+    check_eccheck_redundancy,
+    check_repair_ledger,
+    check_restored_states,
+    expected_outcome,
+)
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.elastic import ElasticClusterController, RedundancyPolicy
+from repro.elastic.repair import REPAIR_CRASH_POINTS
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.sim.spares import SparePool
+
+#: Probability knobs of one round (module-level so tests can reason
+#: about coverage; the rng stream, not these values, carries the
+#: determinism).
+P_SAVE_CRASH = 0.35
+P_FAILURE = 0.7
+P_REPAIR_CRASH = 0.5
+P_ADAPT = 0.3
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Campaign parameters (defaults = the CI smoke shape)."""
+
+    episodes: int = 30
+    seed: int = 0
+    max_rounds: int = 3
+    model: str = "gpt2-h1024-L16"
+    scale: float = 5e-4
+    redundancy_floor: int = 1
+    #: Run each episode under a collecting tracer and attach a trace
+    #: summary to the episode in ``ELASTIC_report.json``.
+    trace: bool = False
+
+
+@dataclass
+class ElasticEpisodeResult:
+    """One episode's membership cycles and any invariant violations."""
+
+    episode: int
+    cycles: list[dict] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    #: Closed degraded windows (the manager's redundancy ledger).
+    redundancy_ledger: list[dict] = field(default_factory=list)
+    #: Present only when the campaign ran with ``ElasticConfig.trace``.
+    trace_summary: dict | None = None
+
+
+@dataclass
+class ElasticReport:
+    """All episode results plus the failure x spare x crash matrix."""
+
+    config: ElasticConfig
+    episodes: list[ElasticEpisodeResult]
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"episode {e.episode}: {v}"
+            for e in self.episodes
+            for v in e.violations
+        ]
+
+    @property
+    def cycles(self) -> list[dict]:
+        return [c for e in self.episodes for c in e.cycles]
+
+    def outcome_matrix(self) -> dict[str, dict[str, int]]:
+        """``"kind/detail" -> {outcome: count}`` across all episodes."""
+        matrix: dict[str, dict[str, int]] = {}
+        for cycle in self.cycles:
+            if cycle["kind"] == "failure":
+                key = (
+                    f"failure/f{cycle['num_failed']}"
+                    f"/{cycle['save_crash'] or '-'}"
+                )
+                outcome = cycle["outcome"]
+            elif cycle["kind"] == "join":
+                key = f"join/{cycle['repair_crash'] or '-'}"
+                outcome = "resumed" if cycle["resumed"] else "committed"
+            else:
+                key = cycle["kind"]
+                outcome = cycle.get("outcome", "hit")
+            row = matrix.setdefault(key, {})
+            row[outcome] = row.get(outcome, 0) + 1
+        return {key: matrix[key] for key in sorted(matrix)}
+
+    def to_dict(self) -> dict:
+        """Plain-data form, deliberately provenance-free (determinism
+        tests compare two runs by equality); :meth:`to_json` adds the
+        stamp."""
+        return {
+            "config": {
+                "episodes": self.config.episodes,
+                "seed": self.config.seed,
+                "max_rounds": self.config.max_rounds,
+                "model": self.config.model,
+                "scale": self.config.scale,
+                "redundancy_floor": self.config.redundancy_floor,
+                "trace": self.config.trace,
+            },
+            "total_cycles": len(self.cycles),
+            "outcome_matrix": self.outcome_matrix(),
+            "violations": self.violations,
+            "episodes": [
+                {
+                    "episode": e.episode,
+                    "cycles": e.cycles,
+                    "violations": e.violations,
+                    "redundancy_ledger": e.redundancy_ledger,
+                    **(
+                        {"trace_summary": e.trace_summary}
+                        if e.trace_summary is not None
+                        else {}
+                    ),
+                }
+                for e in self.episodes
+            ],
+        }
+
+    def to_json(self, provenance: bool = True) -> str:
+        """JSON form for ``ELASTIC_report.json``, provenance-stamped."""
+        payload = self.to_dict()
+        if provenance:
+            from repro.obs.provenance import provenance_stamp
+
+            payload["provenance"] = provenance_stamp()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """ASCII summary: the outcome matrix plus the violation count."""
+        lines = [
+            f"elastic campaign: {len(self.episodes)} episodes, "
+            f"{len(self.cycles)} membership cycles, "
+            f"{len(self.violations)} violations",
+        ]
+        for key, row in self.outcome_matrix().items():
+            counts = ", ".join(
+                f"{outcome}={count}" for outcome, count in sorted(row.items())
+            )
+            lines.append(f"  {key:<32s} {counts}")
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _build_testbed(config: ElasticConfig, episode: int):
+    job = TrainingJob.create(
+        model=config.model,
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=config.scale,
+        seed=config.seed * 7919 + episode,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
+    return job, engine
+
+
+def _sample_survivable_failure(
+    engine, alive: list[int], rng: np.random.Generator
+) -> set[int]:
+    """A random failed-rank set the oracle still calls recoverable.
+
+    Draws a subset of the live ranks no larger than the current parity
+    budget, shrinking until the independent oracle confirms an in-memory
+    restore would succeed; empty when even a single loss is fatal.
+    """
+    max_fail = min(engine.config.m, len(alive))
+    for count in range(int(rng.integers(1, max_fail + 1)), 0, -1):
+        failed = {
+            int(x) for x in rng.choice(alive, size=count, replace=False)
+        }
+        kind, _ = expected_outcome(engine, failed)
+        if kind == "memory":
+            return failed
+    return set()
+
+
+def _run_episode_impl(
+    episode: int, config: ElasticConfig
+) -> ElasticEpisodeResult:
+    rng = np.random.default_rng([config.seed, episode])
+    result = ElasticEpisodeResult(episode=episode)
+    job, engine = _build_testbed(config, episode)
+    manager = CheckpointManager(job, engine, interval=1)
+    pool = SparePool(
+        size=int(rng.integers(0, 4)),
+        median_delay_s=float(rng.uniform(60.0, 300.0)),
+        sigma=0.5,
+    )
+    policy = RedundancyPolicy(
+        repair_window_s=float(rng.choice([300.0, 900.0, 1800.0])),
+        max_m=3,
+    )
+    controller = ElasticClusterController(
+        manager,
+        pool,
+        policy=policy,
+        redundancy_floor=config.redundancy_floor,
+        rng=rng,
+    )
+    t = 0.0
+
+    version_states: dict[int, dict] = {}
+    version_iteration: dict[int, int] = {}
+    torn_versions: set[int] = set()
+    drained_saves = 0
+
+    def drain_reports() -> None:
+        nonlocal drained_saves
+        fresh = manager.stats.save_reports[drained_saves:]
+        drained_saves = len(manager.stats.save_reports)
+        for report in fresh:
+            version_states.setdefault(report.version, job.snapshot_states())
+            version_iteration.setdefault(
+                report.version,
+                manager._checkpoint_iteration_of_version[report.version],
+            )
+
+    def check_recovery(report, failed: set[int], cycle: dict) -> None:
+        cycle["version"] = report.version
+        if report.version in torn_versions:
+            result.violations.append(
+                f"restored torn version v{report.version} "
+                f"(failed={sorted(failed)})"
+            )
+        if report.version not in version_states:
+            result.violations.append(
+                f"restored v{report.version}, a version no completed "
+                f"save ever committed"
+            )
+            return
+        result.violations.extend(
+            check_restored_states(job, version_states[report.version])
+        )
+        if job.iteration != version_iteration[report.version]:
+            result.violations.append(
+                f"job resumed at iteration {job.iteration}, expected "
+                f"{version_iteration[report.version]}"
+            )
+
+    rounds = int(rng.integers(2, config.max_rounds + 1))
+    for _ in range(rounds):
+        # -- train + checkpoint (degraded saves audited) ----------------
+        for _ in range(int(rng.integers(1, 4))):
+            t += float(rng.uniform(20.0, 60.0))
+            if not controller.can_checkpoint:
+                result.cycles.append({"kind": "blocked"})
+                continue
+            job.advance()
+            manager.step()
+            drain_reports()
+            if controller.degraded:
+                result.violations.extend(
+                    check_degraded_recoverable(engine, engine.version)
+                )
+
+        # -- maybe crash a save mid-flight ------------------------------
+        save_crash = None
+        if (
+            controller.can_checkpoint
+            and engine.crash_points
+            and rng.random() < P_SAVE_CRASH
+        ):
+            point = str(rng.choice(engine.crash_points))
+            job.advance()
+            engine.crash_injector = CrashInjector(
+                CrashPlan(point=point, after=int(rng.integers(0, 3)))
+            )
+            try:
+                manager.step()
+            except InjectedCrash:
+                save_crash = point
+                torn_versions.add(engine.version)
+            finally:
+                engine.crash_injector = None
+            if save_crash is None:
+                drain_reports()
+
+        # -- fail a survivable subset of live ranks ---------------------
+        if version_states and rng.random() < P_FAILURE:
+            failed = _sample_survivable_failure(
+                engine, controller.membership.alive, rng
+            )
+            if failed:
+                t += float(rng.uniform(1.0, 10.0))
+                _, expected_version = expected_outcome(engine, failed)
+                cycle = {
+                    "kind": "failure",
+                    "num_failed": len(failed),
+                    "save_crash": save_crash,
+                    "pool_remaining": pool.remaining,
+                }
+                try:
+                    report = controller.on_failure(failed, t)
+                except RecoveryError as exc:
+                    cycle["outcome"] = "refused"
+                    result.cycles.append(cycle)
+                    result.violations.append(
+                        f"refused recovery although v{expected_version} "
+                        f"was recoverable (failed={sorted(failed)}): {exc}"
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 — leaks are findings
+                    cycle["outcome"] = "engine_error"
+                    result.cycles.append(cycle)
+                    result.violations.append(
+                        f"recovery raised {type(exc).__name__} "
+                        f"(failed={sorted(failed)}): {exc}"
+                    )
+                    break
+                cycle["outcome"] = "memory"
+                result.cycles.append(cycle)
+                if report.version != expected_version:
+                    result.violations.append(
+                        f"restored v{report.version}, oracle expected "
+                        f"v{expected_version} (failed={sorted(failed)})"
+                    )
+                check_recovery(report, failed, cycle)
+
+        # -- admit provisioned spares, maybe crashing the repair --------
+        t += float(rng.uniform(30.0, 400.0))
+        injector = None
+        repair_crash = None
+        if rng.random() < P_REPAIR_CRASH:
+            repair_point = str(rng.choice(REPAIR_CRASH_POINTS))
+            injector = CrashInjector(
+                CrashPlan(point=repair_point, after=int(rng.integers(0, 6)))
+            )
+        dead_before = set(controller.membership.dead)
+        try:
+            joined = controller.poll_spares(t, repair_crash_injector=injector)
+        except InjectedCrash:
+            repair_crash = injector.plan.point
+            ledger = controller.repair_ledger
+            result.violations.extend(
+                check_repair_ledger(ledger, engine, ledger.version)
+            )
+            # The crashed join already took the rank; record it, then
+            # resume the interrupted generation and drain the rest.
+            for rank in sorted(dead_before - controller.membership.dead):
+                result.cycles.append(
+                    {
+                        "kind": "join",
+                        "rank": rank,
+                        "repair_crash": repair_crash,
+                        "resumed": True,
+                    }
+                )
+            t += float(rng.uniform(5.0, 60.0))
+            controller.run_repair(t)
+            joined = controller.poll_spares(t)
+        for rank in joined:
+            result.cycles.append(
+                {
+                    "kind": "join",
+                    "rank": rank,
+                    "repair_crash": None,
+                    "resumed": False,
+                }
+            )
+
+        # -- maybe consult the adaptive policy --------------------------
+        if rng.random() < P_ADAPT:
+            t += 1.0
+            adopted = controller.maybe_adapt(t)
+            if adopted is not None:
+                result.cycles.append(
+                    {"kind": "adapt", "outcome": f"k{adopted[0]}m{adopted[1]}"}
+                )
+
+    # -- finalisation: every episode ends at full redundancy ------------
+    while controller.membership.dead:
+        # The pool ran dry (or arrivals are still in flight): model the
+        # operator provisioning a machine by hand.
+        t += float(rng.uniform(30.0, 200.0))
+        remaining = controller.poll_spares(t)
+        for rank in remaining:
+            result.cycles.append(
+                {"kind": "join", "rank": rank, "repair_crash": None,
+                 "resumed": False}
+            )
+        if controller.membership.dead:
+            rank = min(controller.membership.dead)
+            controller.on_spare_join(rank, t)
+            result.cycles.append(
+                {"kind": "join", "rank": rank, "repair_crash": None,
+                 "resumed": False}
+            )
+    # At guaranteed full strength, give the adaptive policy one more
+    # shot — an adopted (k, m) re-encodes the latest version, and the
+    # final redundancy/restore checks below must still hold on it.
+    if rng.random() < 0.5:
+        t += 1.0
+        adopted = controller.maybe_adapt(t)
+        if adopted is not None:
+            result.cycles.append(
+                {"kind": "adapt", "outcome": f"k{adopted[0]}m{adopted[1]}"}
+            )
+    if controller.repair_ledger is not None:
+        result.violations.append(
+            "episode ended with an uncommitted repair ledger: "
+            f"{controller.repair_ledger.progress()}"
+        )
+    if version_states and manager.degraded:
+        result.violations.append(
+            "episode ended with the degraded window still open"
+        )
+    expected_kind, expected_version = expected_outcome(engine, set())
+    if version_states:
+        if expected_kind != "memory":
+            result.violations.append(
+                f"no in-memory version restorable at episode end "
+                f"(oracle: {expected_kind})"
+            )
+        else:
+            result.violations.extend(
+                f"final redundancy: {v}"
+                for v in check_eccheck_redundancy(engine, expected_version)
+            )
+            # A pure process restart must land on the oracle's version
+            # with bit-exact worker states.
+            report = manager.on_failure(set())
+            cycle = {
+                "kind": "final_restore",
+                "outcome": "memory",
+            }
+            result.cycles.append(cycle)
+            if report.version != expected_version:
+                result.violations.append(
+                    f"final restore landed on v{report.version}, oracle "
+                    f"expected v{expected_version}"
+                )
+            check_recovery(report, set(), cycle)
+    result.redundancy_ledger = list(manager.stats.redundancy_ledger)
+    return result
+
+
+def run_elastic_episode(
+    episode: int, config: ElasticConfig
+) -> ElasticEpisodeResult:
+    """One seeded elastic episode; traced when the config asks for it."""
+    if not config.trace:
+        return _run_episode_impl(episode, config)
+    with obs.use_tracer() as tracer:
+        result = _run_episode_impl(episode, config)
+    result.trace_summary = obs.summarize(tracer)
+    return result
+
+
+def run_elastic_campaign(config: ElasticConfig | None = None) -> ElasticReport:
+    """Run ``config.episodes`` elastic episodes."""
+    config = config or ElasticConfig()
+    episodes = [
+        run_elastic_episode(episode, config)
+        for episode in range(config.episodes)
+    ]
+    return ElasticReport(config=config, episodes=episodes)

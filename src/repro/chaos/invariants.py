@@ -33,18 +33,18 @@ def eccheck_memory_version(engine, failed_nodes: set[int]) -> int | None:
     rule.  Returns ``None`` when only the remote backup (or nothing) can
     help.
     """
-    plan = engine.placement
-    groups = len(plan.data_group[0])
     survivors = [
         n for n in range(engine.job.cluster.num_nodes) if n not in failed_nodes
     ]
     if not survivors:
         return None
 
-    def chunk_whole(node: int, version: int, kind: str, idx: int) -> bool:
+    def chunk_whole(
+        node: int, version: int, kind: str, idx: int, groups: int
+    ) -> bool:
         for r in range(groups):
-            key = ("chunk", version, kind, idx, r)
-            digest_key = ("digest", version, kind, idx, r)
+            key = engine.chunk_key(version, kind, idx, r)
+            digest_key = engine.digest_key(version, kind, idx, r)
             if not (
                 engine.host.contains(node, key)
                 and engine.host.contains(node, digest_key)
@@ -57,12 +57,16 @@ def eccheck_memory_version(engine, failed_nodes: set[int]) -> int | None:
         return True
 
     for version in range(engine.version, 0, -1):
+        # Elastic regroups mean each version may have been written under
+        # a different (k, m) layout — judge it against its own plan.
+        plan = engine.placement_of(version)
+        groups = len(plan.data_group[0])
         whole = 0
         for j, node in enumerate(plan.data_nodes):
-            if node in survivors and chunk_whole(node, version, "data", j):
+            if node in survivors and chunk_whole(node, version, "data", j, groups):
                 whole += 1
         for i, node in enumerate(plan.parity_nodes):
-            if node in survivors and chunk_whole(node, version, "parity", i):
+            if node in survivors and chunk_whole(node, version, "parity", i, groups):
                 whole += 1
         if whole < plan.k:
             continue
@@ -176,15 +180,28 @@ def check_restored_states(job, expected_states: dict[int, dict]) -> list[str]:
 
 
 def check_eccheck_redundancy(engine, version: int) -> list[str]:
-    """All k + m chunks whole and metadata on every node again."""
-    plan = engine.placement
+    """All k + m chunks whole and metadata on every node again.
+
+    Checked against the placement ``version`` was written under (or
+    re-pointed to by a committed repair) and only on the nodes that
+    placement uses — under a degraded regroup the chunk/metadata set
+    lives entirely on the active subset.
+    """
+    plan = (
+        engine.placement_of(version)
+        if hasattr(engine, "placement_of")
+        else engine.placement
+    )
     groups = len(plan.data_group[0])
+    active = getattr(engine, "active_nodes", None) or list(
+        range(engine.job.cluster.num_nodes)
+    )
     violations = []
 
     def check_chunk(node: int, kind: str, idx: int) -> None:
         for r in range(groups):
-            key = ("chunk", version, kind, idx, r)
-            digest_key = ("digest", version, kind, idx, r)
+            key = engine.chunk_key(version, kind, idx, r)
+            digest_key = engine.digest_key(version, kind, idx, r)
             if not (
                 engine.host.contains(node, key)
                 and engine.host.contains(node, digest_key)
@@ -203,12 +220,112 @@ def check_eccheck_redundancy(engine, version: int) -> list[str]:
         check_chunk(node, "data", j)
     for i, node in enumerate(plan.parity_nodes):
         check_chunk(node, "parity", i)
-    for node in range(engine.job.cluster.num_nodes):
+    for node in active:
         for worker in range(engine.job.world_size):
             if not engine.host.contains(node, ("meta", version, worker)):
                 violations.append(
                     f"metadata for worker {worker} missing on node {node}"
                 )
+    return violations
+
+
+def check_degraded_recoverable(engine, version: int) -> list[str]:
+    """A degraded save must survive the loss of any m' further nodes.
+
+    For every subset of ``m' = plan.m`` active nodes, the chunks whole on
+    the remaining actives must still number >= k'.  With whole chunks on
+    distinct nodes this is guaranteed combinatorially, but the check
+    re-derives it from raw storage (missing/corrupt packets, double-
+    hosted chunks and metadata gaps all surface here).
+    """
+    from itertools import combinations
+
+    plan = (
+        engine.placement_of(version)
+        if hasattr(engine, "placement_of")
+        else engine.placement
+    )
+    groups = len(plan.data_group[0])
+    active = getattr(engine, "active_nodes", None) or list(
+        range(engine.job.cluster.num_nodes)
+    )
+    violations = []
+
+    def chunk_whole(node: int, kind: str, idx: int) -> bool:
+        for r in range(groups):
+            key = engine.chunk_key(version, kind, idx, r)
+            digest_key = engine.digest_key(version, kind, idx, r)
+            if not (
+                engine.host.contains(node, key)
+                and engine.host.contains(node, digest_key)
+            ):
+                return False
+            if not verify_chunk(
+                engine.host.get(node, key), engine.host.get(node, digest_key)
+            ):
+                return False
+        return True
+
+    holder: dict[int, int] = {}
+    for j, node in enumerate(plan.data_nodes):
+        if chunk_whole(node, "data", j):
+            holder[j] = node
+    for i, node in enumerate(plan.parity_nodes):
+        if chunk_whole(node, "parity", i):
+            holder[plan.k + i] = node
+    for lost in combinations(active, plan.m):
+        lost_set = set(lost)
+        surviving_chunks = sum(
+            1 for node in holder.values() if node not in lost_set
+        )
+        if surviving_chunks < plan.k:
+            violations.append(
+                f"v{version}: losing nodes {sorted(lost_set)} leaves only "
+                f"{surviving_chunks} of k={plan.k} chunks"
+            )
+    for worker in range(engine.job.world_size):
+        nodes_with_meta = [
+            n for n in active if engine.host.contains(n, ("meta", version, worker))
+        ]
+        if len(nodes_with_meta) < plan.m + 1:
+            violations.append(
+                f"v{version}: metadata for worker {worker} on only "
+                f"{len(nodes_with_meta)} nodes (< m+1 = {plan.m + 1})"
+            )
+    return violations
+
+
+def check_repair_ledger(ledger, engine, version: int) -> list[str]:
+    """Crash consistency of a repair ledger against raw storage.
+
+    Every item the ledger marked done must actually be present and pass
+    digest verification — the store-then-mark ordering promises marked
+    implies durable.  (The converse — present but unmarked — is fine:
+    a crash between store and mark just redoes the transfer.)
+    """
+    violations = []
+    epoch = getattr(ledger, "epoch", 0)
+    for item in ledger.done_items():
+        key = engine.chunk_key(version, item.kind, item.idx, item.r, epoch=epoch)
+        digest_key = engine.digest_key(
+            version, item.kind, item.idx, item.r, epoch=epoch
+        )
+        if not (
+            engine.host.contains(item.node, key)
+            and engine.host.contains(item.node, digest_key)
+        ):
+            violations.append(
+                f"ledger marked {item.kind}[{item.idx}].{item.r} done on "
+                f"node {item.node} but the packet is missing"
+            )
+        elif not verify_chunk(
+            engine.host.get(item.node, key),
+            engine.host.get(item.node, digest_key),
+        ):
+            violations.append(
+                f"ledger marked {item.kind}[{item.idx}].{item.r} done on "
+                f"node {item.node} but the packet is corrupt"
+            )
     return violations
 
 

@@ -47,6 +47,16 @@ class TrainingJob:
     iteration: int = 0
     sharding_style: str = "hybrid"
     _logical_bytes: dict[int, int] = field(default_factory=dict)
+    #: Explicit node-id <-> rank mapping.  A *rank* is the cluster slot
+    #: (0..num_nodes-1) that placement, the host store and the network
+    #: address; a *node id* is the stable machine identity occupying it.
+    #: Initially id == rank, but a replacement machine joining after a
+    #: failure takes the rank under a *fresh* id — failed ids are never
+    #: reused (see :meth:`replace_node`).
+    node_ids: dict[int, int] = field(default_factory=dict)
+    #: Node ids that failed and left the cluster, in failure order.
+    retired_node_ids: list[int] = field(default_factory=list)
+    _next_node_id: int = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -114,6 +124,8 @@ class TrainingJob:
             shards=shards,
             state_dicts=state_dicts,
             sharding_style=sharding,
+            node_ids={rank: rank for rank in range(cluster.num_nodes)},
+            _next_node_id=cluster.num_nodes,
         )
 
     # ------------------------------------------------------------------
@@ -228,6 +240,63 @@ class TrainingJob:
     def failed_workers(self) -> list[int]:
         """Workers currently without live state."""
         return [w for w, s in self.state_dicts.items() if s is None]
+
+    # ------------------------------------------------------------------
+    # Node identity: ranks are cluster slots, node ids are machines.
+    # ------------------------------------------------------------------
+    def node_id_of(self, rank: int) -> int:
+        """The machine identity currently occupying ``rank``.
+
+        Defaults to ``rank`` for jobs built before any replacement (and
+        for directly-constructed jobs that never populated the mapping).
+        """
+        if not 0 <= rank < self.cluster.num_nodes:
+            raise ShardingError(f"rank {rank} out of range")
+        return self.node_ids.get(rank, rank)
+
+    def replace_node(self, rank: int, node_id: int | None = None) -> int:
+        """A replacement machine takes over ``rank`` under a fresh id.
+
+        The previous occupant's id is retired (never reused); the new
+        machine arrives with empty GPUs, so the rank's workers must still
+        be restored before :meth:`state_of` works again.
+
+        Args:
+            rank: the cluster slot being refilled.
+            node_id: explicit fresh identity; auto-allocated if omitted.
+
+        Returns:
+            The new occupant's node id.
+
+        Raises:
+            ShardingError: for an out-of-range rank, or a ``node_id``
+                that is already in use or was already retired.
+        """
+        if not 0 <= rank < self.cluster.num_nodes:
+            raise ShardingError(f"rank {rank} out of range")
+        old_id = self.node_id_of(rank)
+        if node_id is None:
+            node_id = max(
+                self._next_node_id,
+                self.cluster.num_nodes,
+                max(self.node_ids.values(), default=-1) + 1,
+                max(self.retired_node_ids, default=-1) + 1,
+            )
+        else:
+            in_use = {
+                self.node_id_of(r) for r in range(self.cluster.num_nodes)
+            }
+            if node_id in in_use or node_id in self.retired_node_ids:
+                raise ShardingError(
+                    f"node id {node_id} is already in use or retired"
+                )
+        self.retired_node_ids.append(old_id)
+        self.node_ids[rank] = node_id
+        self._next_node_id = node_id + 1
+        # The newcomer's GPUs are empty until a restore repopulates them.
+        for worker in self.cluster.workers_of(rank):
+            self.state_dicts[worker] = None
+        return node_id
 
     def snapshot_states(self) -> dict[int, dict]:
         """Deep copies of every live state dict (for test verification)."""

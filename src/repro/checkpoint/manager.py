@@ -45,6 +45,16 @@ class ManagerStats:
     total_checkpoint_s: float = 0.0
     save_reports: list = field(default_factory=list)
     backup_reports: list = field(default_factory=list)
+    #: Node replacements registered through the manager.
+    replacements: int = 0
+    #: Total simulated seconds spent below full redundancy (closed
+    #: degraded windows only; see :attr:`redundancy_ledger`).
+    degraded_seconds: float = 0.0
+    #: One entry per closed degraded window: ``{"degraded_at",
+    #: "full_at", "degraded_seconds", "cause", "failed_ranks"}``.
+    #: Distinguishes "restored" (training resumed) from "fully
+    #: re-protected" (redundancy back at target).
+    redundancy_ledger: list = field(default_factory=list)
 
 
 class CheckpointManager:
@@ -94,6 +104,7 @@ class CheckpointManager:
         self.stats = ManagerStats()
         self._last_checkpoint_iteration: int | None = None
         self._checkpoint_iteration_of_version: dict[int, int] = {}
+        self._degraded_window: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -188,3 +199,93 @@ class CheckpointManager:
             )
             tracer.metrics.counter("manager.recoveries").inc()
         return report
+
+    # ------------------------------------------------------------------
+    # Time-to-redundancy accounting.  ``on_failure`` restores training,
+    # but the cluster may stay *degraded* (below its redundancy target)
+    # for a long time afterwards — until a spare joined and background
+    # repair finished.  An elastic controller brackets that window with
+    # :meth:`mark_degraded` / :meth:`mark_fully_redundant`, so reports
+    # can distinguish "restored" from "fully re-protected".
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while a degraded window is open."""
+        return self._degraded_window is not None
+
+    def mark_degraded(
+        self, sim_time: float, cause: str = "failure", failed_ranks=()
+    ) -> None:
+        """Open (or extend) a degraded window at ``sim_time``.
+
+        A second failure inside an open window keeps the original start
+        (time-to-full-redundancy measures from the *first* loss of
+        protection) and merges the failed-rank set.
+        """
+        if self._degraded_window is None:
+            self._degraded_window = {
+                "degraded_at": float(sim_time),
+                "cause": cause,
+                "failed_ranks": sorted(set(failed_ranks)),
+            }
+        else:
+            merged = set(self._degraded_window["failed_ranks"]) | set(failed_ranks)
+            self._degraded_window["failed_ranks"] = sorted(merged)
+
+    def mark_fully_redundant(self, sim_time: float) -> dict | None:
+        """Close the open degraded window; returns the ledger entry.
+
+        No-op (returns None) when not degraded.
+
+        Raises:
+            CheckpointError: if ``sim_time`` precedes the window start.
+        """
+        window = self._degraded_window
+        if window is None:
+            return None
+        if sim_time < window["degraded_at"]:
+            raise CheckpointError(
+                f"sim_time {sim_time} precedes degraded_at {window['degraded_at']}"
+            )
+        entry = {
+            **window,
+            "full_at": float(sim_time),
+            "degraded_seconds": float(sim_time) - window["degraded_at"],
+        }
+        self.stats.redundancy_ledger.append(entry)
+        self.stats.degraded_seconds += entry["degraded_seconds"]
+        self._degraded_window = None
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "fully_redundant",
+                engine=self.engine.name,
+                degraded_seconds=entry["degraded_seconds"],
+            )
+            tracer.metrics.gauge("manager.degraded_seconds").set(
+                self.stats.degraded_seconds
+            )
+        return entry
+
+    def time_to_full_redundancy(self) -> list[float]:
+        """Seconds from each loss of protection to full re-protection."""
+        return [e["degraded_seconds"] for e in self.stats.redundancy_ledger]
+
+    def register_replacement(self, rank: int, node_id: int | None = None) -> int:
+        """A spare machine takes over ``rank`` under a fresh node id.
+
+        Delegates to :meth:`TrainingJob.replace_node` (the explicit
+        node-id <-> rank mapping) and counts the replacement.
+        """
+        new_id = self.job.replace_node(rank, node_id)
+        self.stats.replacements += 1
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "node_replaced",
+                engine=self.engine.name,
+                rank=rank,
+                node_id=new_id,
+            )
+            tracer.metrics.counter("manager.replacements").inc()
+        return new_id

@@ -119,6 +119,41 @@ def build_parser() -> argparse.ArgumentParser:
         "trace summaries to the report",
     )
 
+    elastic = sub.add_parser(
+        "elastic",
+        help="elastic-membership chaos campaign: degraded checkpointing, "
+        "spare joins with background repair, and adaptive (k, m) "
+        "reconfiguration, invariants checked every cycle",
+    )
+    elastic.add_argument(
+        "--episodes", type=int, default=30, help="number of seeded episodes"
+    )
+    elastic.add_argument("--seed", type=int, default=0, help="campaign seed")
+    elastic.add_argument(
+        "--max-rounds",
+        type=int,
+        default=3,
+        help="max train/checkpoint/fail rounds per episode",
+    )
+    elastic.add_argument(
+        "--redundancy-floor",
+        type=int,
+        default=1,
+        help="minimum parity count a degraded regroup may keep; below it "
+        "checkpointing is refused until a spare joins",
+    )
+    elastic.add_argument(
+        "--output",
+        default="ELASTIC_report.json",
+        help="JSON campaign report path ('' to skip writing)",
+    )
+    elastic.add_argument(
+        "--trace",
+        action="store_true",
+        help="run each episode under a tracer and attach per-episode "
+        "trace summaries to the report",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run a traced checkpoint job; emit a JSONL trace plus a "
@@ -276,6 +311,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _quickstart(out)
     if args.command == "chaos":
         return _chaos(args, out)
+    if args.command == "elastic":
+        return _elastic(args, out)
     if args.command == "trace":
         return _trace(args, out)
     if args.command == "export-trace":
@@ -318,6 +355,26 @@ def _chaos(args, out) -> int:
         trace=args.trace,
     )
     report = run_campaign(config)
+    print(report.render(), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.output}", file=out)
+    return 1 if report.violations else 0
+
+
+def _elastic(args, out) -> int:
+    """Run an elastic campaign; exit 0 iff no invariant was violated."""
+    from repro.chaos.elastic_campaign import ElasticConfig, run_elastic_campaign
+
+    config = ElasticConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        redundancy_floor=args.redundancy_floor,
+        trace=args.trace,
+    )
+    report = run_elastic_campaign(config)
     print(report.render(), file=out)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:

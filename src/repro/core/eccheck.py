@@ -15,6 +15,11 @@ Checkpoint layout in host memory after ``save``:
 * parity node ``i``: ``("chunk", version, "parity", i, r) -> packet``
   (together: parity chunk ``P_i``).
 
+Chunk/digest keys grow an epoch suffix after a committed layout-changing
+repair (see :meth:`ECCheckEngine.chunk_key`): repairs stream into staging
+keys and the placement/epoch flip makes them authoritative atomically, so
+a mid-repair crash can never corrupt the old layout's bytes.
+
 Any ``k`` surviving chunks reconstruct every worker's packet, hence every
 worker's ``state_dict``.
 
@@ -28,7 +33,7 @@ hooks — leaves a torn version that recovery provably walks back past.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 import numpy as np
 
@@ -37,7 +42,12 @@ from repro.errors import CheckpointError, RecoveryError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
 from repro.checkpoint.job import TrainingJob
 from repro.core.integrity import chunk_digest, verify_chunk
-from repro.core.placement import PlacementPlan, build_data_group, select_data_parity_nodes
+from repro.core.placement import (
+    PlacementPlan,
+    build_data_group,
+    regroup_plan,
+    select_data_parity_nodes,
+)
 from repro.core.pipeline import (
     STAGE_ENCODE,
     STAGE_XOR_REDUCE,
@@ -124,6 +134,21 @@ class ECCheckEngine(CheckpointEngine):
         self.last_pipeline_stats = None
         self._last_packets: dict[int, np.ndarray] = {}
         self._last_full_version: int | None = None
+        #: Ranks currently hosting chunks (all of them at full strength;
+        #: a subset after an elastic degraded :meth:`reconfigure`).
+        self.active_nodes: list[int] = list(range(job.cluster.num_nodes))
+        #: worker -> hosting rank override for workers whose home rank is
+        #: inactive (degraded oversubscription); None = job topology.
+        self._node_of_worker: dict[int, int] | None = None
+        #: Placement each version's chunks were laid out under.  Recorded
+        #: at save *start* so torn versions map to the plan they used;
+        #: versions predating the map fall back to the current placement.
+        self._placement_of_version: dict[int, PlacementPlan] = {}
+        #: Storage epoch per version: 0 = the save-time keys; a committed
+        #: layout-changing repair bumps it to its generation so staged
+        #: chunks become authoritative only at the placement flip.
+        self._epoch_of_version: dict[int, int] = {}
+        self._code_cache: dict[tuple[int, int, int], CauchyRSCode] = {}
         self.initialize()
 
     # ------------------------------------------------------------------
@@ -161,19 +186,175 @@ class ECCheckEngine(CheckpointEngine):
             )
         node_of = {w: self.job.node_of(w) for w in range(world)}
         self.reduction_plan = build_reduction_plan(self.placement, node_of)
-        self.code = CauchyRSCode(CodeParams(k=cfg.k, m=cfg.m, w=cfg.w))
+        self.code = self.code_for(cfg.k, cfg.m)
         # Recovery re-encodes whole chunks; route them through the pooled
         # encoder so they use the same word-packed kernel fast path (and
         # sub-task fan-out) as the save pipeline.
         self.encoder = ThreadPoolEncoder(self.code, threads=cfg.encode_threads)
+        self.active_nodes = list(range(n))
+        self._node_of_worker = None
+
+    # ------------------------------------------------------------------
+    # Elastic reconfiguration: regroup to a (possibly shrunk) shape.
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        k: int,
+        m: int,
+        active_nodes: list[int] | None = None,
+        node_of_worker: dict[int, int] | None = None,
+    ) -> PlacementPlan:
+        """Re-derive placement, reduction plan and code for a new shape.
+
+        Elastic membership uses this in two ways: *degraded regrouping*
+        (``k + m == len(active_nodes) < num_nodes`` after unreplaced
+        failures) and *adaptive (k, m) reconfiguration* at full strength.
+        Future saves use the new layout; already-saved versions keep the
+        placement they were written under (see :meth:`placement_of`), so
+        restores of old versions still find their chunks.
+
+        Args:
+            k: data-node count; must divide the world size (the XOR
+                reduction plan needs equal groups).
+            m: parity-node count; ``k + m`` must equal the active count.
+            active_nodes: ranks hosting chunks (default: all ranks).
+            node_of_worker: hosting rank per worker.  Defaults to the job
+                topology, with workers of inactive ranks rescheduled
+                round-robin over the active ranks.
+
+        Returns:
+            The new :class:`PlacementPlan`.
+
+        Raises:
+            CheckpointError: for an inconsistent shape.
+        """
+        n = self.job.cluster.num_nodes
+        active = sorted(active_nodes) if active_nodes is not None else list(range(n))
+        if not active:
+            raise CheckpointError("reconfigure needs at least one active node")
+        if k + m != len(active):
+            raise CheckpointError(
+                f"k + m = {k + m} must equal active node count {len(active)}"
+            )
+        if k < 1 or m < 0:
+            raise CheckpointError(f"bad code shape k={k}, m={m}")
+        world = self.job.world_size
+        if world % k:
+            raise CheckpointError(f"k={k} must divide world size {world}")
+        origin = self.job.cluster.origin_groups()
+        if self.config.use_sweepline_placement:
+            plan = regroup_plan(origin, active, k)
+        else:
+            plan = PlacementPlan(
+                data_nodes=active[:k],
+                parity_nodes=active[k:],
+                data_group=build_data_group(world, k),
+            )
+        if node_of_worker is None:
+            active_set = set(active)
+            node_of_worker = {}
+            for w in range(world):
+                home = self.job.node_of(w)
+                node_of_worker[w] = (
+                    home if home in active_set else active[w % len(active)]
+                )
+        self.placement = plan
+        self.reduction_plan = build_reduction_plan(plan, node_of_worker)
+        self.code = self.code_for(k, m)
+        self.encoder = ThreadPoolEncoder(
+            self.code, threads=self.config.encode_threads
+        )
+        self.config = dataclass_replace(self.config, k=k, m=m)
+        self.active_nodes = active
+        identity = all(node_of_worker[w] == self.job.node_of(w) for w in range(world))
+        self._node_of_worker = None if identity else dict(node_of_worker)
+        # A regroup invalidates the delta base (chunk layout changed).
+        self._last_packets = {}
+        self._last_full_version = None
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "reconfigure",
+                engine=self.name,
+                k=k,
+                m=m,
+                active_nodes=list(active),
+            )
+            tracer.metrics.counter("elastic.reconfigures").inc()
+        return plan
+
+    def code_for(self, k: int, m: int) -> CauchyRSCode:
+        """The (cached) Cauchy RS code for a chunk shape."""
+        key = (k, m, self.config.w)
+        if key not in self._code_cache:
+            self._code_cache[key] = CauchyRSCode(
+                CodeParams(k=k, m=m, w=self.config.w)
+            )
+        return self._code_cache[key]
+
+    def placement_of(self, version: int) -> PlacementPlan:
+        """The placement ``version``'s chunks were laid out under."""
+        assert self.placement is not None
+        return self._placement_of_version.get(version, self.placement)
+
+    def set_placement_of(
+        self, version: int, plan: PlacementPlan, epoch: int | None = None
+    ) -> None:
+        """Re-point a version at a new layout (after a committed repair).
+
+        The flip is the repair's commit record: chunks streamed under a
+        staging ``epoch`` become the version's authoritative bytes here,
+        atomically with the placement (no crash point sits between).
+        """
+        self._placement_of_version[version] = plan
+        if epoch is not None:
+            self._epoch_of_version[version] = epoch
+
+    def epoch_of(self, version: int) -> int:
+        """The storage epoch the version's authoritative chunks live under."""
+        return self._epoch_of_version.get(version, 0)
+
+    def chunk_key(
+        self, version: int, kind: str, idx: int, r: int, epoch: int | None = None
+    ) -> tuple:
+        """Host-store key of one chunk packet (epoch-suffixed when > 0)."""
+        epoch = self.epoch_of(version) if epoch is None else epoch
+        base = ("chunk", version, kind, idx, r)
+        return base if epoch == 0 else base + (epoch,)
+
+    def digest_key(
+        self, version: int, kind: str, idx: int, r: int, epoch: int | None = None
+    ) -> tuple:
+        """Host-store key of a chunk packet's digest record."""
+        epoch = self.epoch_of(version) if epoch is None else epoch
+        base = ("digest", version, kind, idx, r)
+        return base if epoch == 0 else base + (epoch,)
+
+    def node_hosting(self, worker: int) -> int:
+        """Rank hosting ``worker`` (degraded override or job topology)."""
+        if self._node_of_worker is not None:
+            return self._node_of_worker[worker]
+        return self.job.node_of(worker)
+
+    def encoder_for(self, k: int, m: int) -> ThreadPoolEncoder:
+        """An encoder matching a chunk shape (the live one when it fits)."""
+        assert self.encoder is not None
+        if (k, m) == (self.config.k, self.config.m):
+            return self.encoder
+        return ThreadPoolEncoder(
+            self.code_for(k, m), threads=self.config.encode_threads
+        )
 
     # ------------------------------------------------------------------
     # Worker indexing within the placement
     # ------------------------------------------------------------------
-    def group_and_index(self, worker: int) -> tuple[int, int]:
+    def group_and_index(
+        self, worker: int, plan: PlacementPlan | None = None
+    ) -> tuple[int, int]:
         """(data group j, relative index r) of a worker's packet."""
-        assert self.placement is not None
-        for j, members in enumerate(self.placement.data_group):
+        plan = plan if plan is not None else self.placement
+        assert plan is not None
+        for j, members in enumerate(plan.data_group):
             if worker in members:
                 return j, members.index(worker)
         raise CheckpointError(f"worker {worker} not in any data group")
@@ -189,18 +370,44 @@ class ECCheckEngine(CheckpointEngine):
     # Chunk storage with integrity digests
     # ------------------------------------------------------------------
     def _store_chunk_packet(
-        self, node: int, version: int, kind: str, idx: int, r: int, payload: np.ndarray
+        self,
+        node: int,
+        version: int,
+        kind: str,
+        idx: int,
+        r: int,
+        payload: np.ndarray,
+        epoch: int | None = None,
     ) -> None:
-        """Store one chunk packet plus its CRC digest in a node's host RAM."""
-        self.host.put(node, ("chunk", version, kind, idx, r), payload)
-        self.host.put(node, ("digest", version, kind, idx, r), chunk_digest(payload))
+        """Store one chunk packet plus its CRC digest in a node's host RAM.
 
-    def _chunk_intact(self, node: int, version: int, kind: str, idx: int) -> bool:
-        """All of a chunk's packets present and passing digest verification."""
-        assert self.placement
-        for r in range(len(self.placement.data_group[0])):
-            key = ("chunk", version, kind, idx, r)
-            digest_key = ("digest", version, kind, idx, r)
+        ``epoch`` lets a repair stream into staging keys while the
+        version's authoritative epoch still points at the old bytes.
+        """
+        self.host.put(node, self.chunk_key(version, kind, idx, r, epoch), payload)
+        self.host.put(
+            node, self.digest_key(version, kind, idx, r, epoch), chunk_digest(payload)
+        )
+
+    def _chunk_intact(
+        self,
+        node: int,
+        version: int,
+        kind: str,
+        idx: int,
+        groups: int | None = None,
+        epoch: int | None = None,
+    ) -> bool:
+        """All of a chunk's packets present and passing digest verification.
+
+        ``groups`` is the reduction-group count of the placement the
+        version was saved under; defaults to the version's recorded plan.
+        """
+        if groups is None:
+            groups = len(self.placement_of(version).data_group[0])
+        for r in range(groups):
+            key = self.chunk_key(version, kind, idx, r, epoch)
+            digest_key = self.digest_key(version, kind, idx, r, epoch)
             if not (self.host.contains(node, key) and self.host.contains(node, digest_key)):
                 return False
             if not verify_chunk(self.host.get(node, key), self.host.get(node, digest_key)):
@@ -214,6 +421,9 @@ class ECCheckEngine(CheckpointEngine):
         assert self.placement and self.reduction_plan and self.code
         self.version += 1
         version = self.version
+        # Recorded at save *start* so even a torn version maps to the
+        # placement its partial chunks were written under.
+        self._placement_of_version[version] = self.placement
         tracer = obs.get_tracer()
         with tracer.span("eccheck.save", kind="save", version=version) as span:
             report = self._save_full(version, tracer)
@@ -289,12 +499,12 @@ class ECCheckEngine(CheckpointEngine):
             nonlocal bytes_inter_node
             group, parity_packets = item
             for i, target in enumerate(group.targets):
-                target_node = self.job.node_of(target)
+                target_node = self.node_hosting(target)
                 # Senders ship their encoded packet to the reduction target.
                 for w in group.workers:
                     if w == target:
                         continue
-                    src = self.job.node_of(w)
+                    src = self.node_hosting(w)
                     requests.append(
                         TransferRequest(src=src, dst=target_node, nbytes=logical_packet)
                     )
@@ -328,7 +538,7 @@ class ECCheckEngine(CheckpointEngine):
                     data_node, version, "data", j, r,
                     checkpoints[worker].packet.payload.copy(),
                 )
-                src = self.job.node_of(worker)
+                src = self.node_hosting(worker)
                 if src != data_node:
                     requests.append(
                         TransferRequest(src=src, dst=data_node, nbytes=logical_packet)
@@ -371,9 +581,9 @@ class ECCheckEngine(CheckpointEngine):
                 self._fire("mid_metadata_broadcast", version=version, worker=worker)
                 record = (wc.metadata_blob, wc.packet.original_length)
                 meta_bytes += len(wc.metadata_blob)
-                for node in range(n):
+                for node in self.active_nodes:
                     self.host.put(node, ("meta", version, worker), record)
-        step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
+        step2 = meta_bytes * (len(self.active_nodes) - 1) / gbps(tm.inter_node_gbps)
 
         # Remember the packets for incremental (delta) saves.
         self._last_packets = {
@@ -470,6 +680,7 @@ class ECCheckEngine(CheckpointEngine):
         prev_version = self._last_full_version
         self.version += 1
         version = self.version
+        self._placement_of_version[version] = self.placement
         tracer = obs.get_tracer()
         with tracer.span(
             "eccheck.save_incremental", kind="save", version=version
@@ -547,17 +758,17 @@ class ECCheckEngine(CheckpointEngine):
                 )
                 parity_node = plan.parity_nodes[i]
                 old_parity = self.host.get(
-                    parity_node, ("chunk", prev_version, "parity", i, r)
+                    parity_node, self.chunk_key(prev_version, "parity", i, r)
                 )
                 self._store_chunk_packet(
                     parity_node, version, "parity", i, r,
                     apply_delta(old_parity, delta_parity),
                 )
-                target_node = self.job.node_of(target)
+                target_node = self.node_hosting(target)
                 for j, w in enumerate(group.workers):
                     if w == target:
                         continue
-                    src = self.job.node_of(w)
+                    src = self.node_hosting(w)
                     requests.append(
                         TransferRequest(
                             src=src, dst=target_node, nbytes=dirty_bytes_of(w)
@@ -577,13 +788,13 @@ class ECCheckEngine(CheckpointEngine):
                 worker = members[r]
                 data_node = plan.data_nodes[j]
                 old_data = self.host.get(
-                    data_node, ("chunk", prev_version, "data", j, r)
+                    data_node, self.chunk_key(prev_version, "data", j, r)
                 )
                 self._store_chunk_packet(
                     data_node, version, "data", j, r,
                     apply_delta(old_data, deltas[worker]),
                 )
-                src = self.job.node_of(worker)
+                src = self.node_hosting(worker)
                 if src != data_node:
                     requests.append(
                         TransferRequest(
@@ -600,9 +811,9 @@ class ECCheckEngine(CheckpointEngine):
             self._fire("mid_metadata_broadcast", version=version, worker=w)
             record = (wc.metadata_blob, wc.packet.original_length)
             meta_bytes += len(wc.metadata_blob)
-            for node in range(n):
+            for node in self.active_nodes:
                 self.host.put(node, ("meta", version, w), record)
-        step2 = meta_bytes * (n - 1) / gbps(tm.inter_node_gbps)
+        step2 = meta_bytes * (len(self.active_nodes) - 1) / gbps(tm.inter_node_gbps)
 
         comm_makespan = self.network.simulate(requests).makespan if requests else 0.0
         max_dirty = max(dirty_bytes_of(w) for w in range(world))
@@ -704,7 +915,6 @@ class ECCheckEngine(CheckpointEngine):
         # incremental save falls back to a full one.
         self._last_packets = {}
         latest = self.latest_version()
-        plan = self.placement
         surviving = [
             node for node in range(self.job.cluster.num_nodes)
             if node not in failed_nodes
@@ -714,15 +924,19 @@ class ECCheckEngine(CheckpointEngine):
 
         # A save interrupted by the crash may have left a torn version
         # behind; walk back to the newest version with >= k intact chunks
-        # (metadata included), exactly as a restart would.
+        # (metadata included), exactly as a restart would.  Each candidate
+        # is judged against the placement *it* was saved under — elastic
+        # regroups mean adjacent versions can have different layouts.
         version = None
+        plan = self.placement
         chunk_available: dict[int, int] = {}
         for candidate in range(latest, 0, -1):
+            plan_v = self.placement_of(candidate)
             available = self._surviving_chunks(candidate, failed_nodes)
-            if len(available) >= plan.k and self._metadata_complete(
+            if len(available) >= plan_v.k and self._metadata_complete(
                 candidate, surviving
             ):
-                version, chunk_available = candidate, available
+                version, chunk_available, plan = candidate, available, plan_v
                 break
         if version is None:
             return self._restore_from_backup(latest, failed_nodes)
@@ -733,27 +947,30 @@ class ECCheckEngine(CheckpointEngine):
         all_data_chunks_intact = all(j in chunk_available for j in range(plan.k))
         if all_data_chunks_intact:
             return self._recover_all_data_nodes_alive(
-                version, failed_nodes, chunk_available
+                version, failed_nodes, chunk_available, plan
             )
-        return self._recover_with_decoding(version, failed_nodes, chunk_available)
+        return self._recover_with_decoding(
+            version, failed_nodes, chunk_available, plan
+        )
 
     # -- helpers --------------------------------------------------------
     def _surviving_chunks(
         self, version: int, failed_nodes: set[int]
     ) -> dict[int, int]:
         """chunk id (0..k-1 data, k.. parity) -> surviving node holding it."""
-        assert self.placement
+        plan = self.placement_of(version)
+        groups = len(plan.data_group[0])
         out: dict[int, int] = {}
-        for j, node in enumerate(self.placement.data_nodes):
+        for j, node in enumerate(plan.data_nodes):
             if node not in failed_nodes and self._chunk_intact(
-                node, version, "data", j
+                node, version, "data", j, groups
             ):
                 out[j] = node
-        for i, node in enumerate(self.placement.parity_nodes):
+        for i, node in enumerate(plan.parity_nodes):
             if node not in failed_nodes and self._chunk_intact(
-                node, version, "parity", i
+                node, version, "parity", i, groups
             ):
-                out[self.placement.k + i] = node
+                out[plan.k + i] = node
         return out
 
     def _metadata_complete(self, version: int, surviving: list[int]) -> bool:
@@ -824,15 +1041,18 @@ class ECCheckEngine(CheckpointEngine):
         )
 
     def _recover_all_data_nodes_alive(
-        self, version: int, failed_nodes: set[int], chunk_available: dict[int, int]
+        self,
+        version: int,
+        failed_nodes: set[int],
+        chunk_available: dict[int, int],
+        plan: PlacementPlan,
     ) -> RecoveryReport:
         """Workflow 1 (Fig. 7 precondition inverted): data chunks intact.
 
         Data nodes send every worker its packet; lost (or corrupted)
-        parity chunks are re-encoded in the background.
+        parity chunks are re-encoded in the background.  ``plan`` is the
+        placement ``version`` was saved under.
         """
-        assert self.placement and self.code
-        plan = self.placement
         tm = self.job.time_model
         surviving = [
             n for n in range(self.job.cluster.num_nodes) if n not in failed_nodes
@@ -841,11 +1061,11 @@ class ECCheckEngine(CheckpointEngine):
         requests: list[TransferRequest] = []
         bytes_inter = 0
         for worker in range(self.job.world_size):
-            j, r = self.group_and_index(worker)
+            j, r = self.group_and_index(worker, plan)
             data_node = plan.data_nodes[j]
-            payload = self.host.get(data_node, ("chunk", version, "data", j, r))
+            payload = self.host.get(data_node, self.chunk_key(version, "data", j, r))
             self._install_worker_state(version, worker, payload, surviving)
-            dst = self.job.node_of(worker)
+            dst = self.node_hosting(worker)
             requests.append(
                 TransferRequest(src=data_node, dst=dst, nbytes=logical_packet)
             )
@@ -870,16 +1090,18 @@ class ECCheckEngine(CheckpointEngine):
         redo_requests: list[TransferRequest] = []
         encode_seconds = 0.0
         if lost_parities:
+            encoder = self.encoder_for(plan.k, plan.m)
             for r in range(groups):
                 data_packets = [
                     np.ascontiguousarray(
                         self.host.get(
-                            plan.data_nodes[j], ("chunk", version, "data", j, r)
+                            plan.data_nodes[j],
+                            self.chunk_key(version, "data", j, r),
                         )
                     )
                     for j in range(plan.k)
                 ]
-                parity_packets = self.encoder.encode(data_packets)
+                parity_packets = encoder.encode(data_packets)
                 for i in lost_parities:
                     self._store_chunk_packet(
                         plan.parity_nodes[i], version, "parity", i, r,
@@ -916,10 +1138,14 @@ class ECCheckEngine(CheckpointEngine):
         version: int,
         failed_nodes: set[int],
         chunk_available: dict[int, int],
+        plan: PlacementPlan,
     ) -> RecoveryReport:
-        """Workflow 2 (Fig. 7): data chunks lost; decode from any k chunks."""
-        assert self.placement and self.code
-        plan = self.placement
+        """Workflow 2 (Fig. 7): data chunks lost; decode from any k chunks.
+
+        ``plan`` is the placement ``version`` was saved under; the decode
+        uses the matching (k, m) code, not necessarily the live one.
+        """
+        code = self.code_for(plan.k, plan.m)
         tm = self.job.time_model
         surviving = [
             n for n in range(self.job.cluster.num_nodes) if n not in failed_nodes
@@ -941,9 +1167,9 @@ class ECCheckEngine(CheckpointEngine):
             for cid in chosen:
                 node = chunk_available[cid]
                 key = (
-                    ("chunk", version, "data", cid, r)
+                    self.chunk_key(version, "data", cid, r)
                     if cid < plan.k
-                    else ("chunk", version, "parity", cid - plan.k, r)
+                    else self.chunk_key(version, "parity", cid - plan.k, r)
                 )
                 available[cid] = np.ascontiguousarray(self.host.get(node, key))
                 gather_requests.append(
@@ -951,11 +1177,11 @@ class ECCheckEngine(CheckpointEngine):
                 )
                 if node != decode_node:
                     bytes_inter += logical_packet
-            data_packets = self.code.decode_fast(available)
+            data_packets = code.decode_fast(available)
             for j in range(plan.k):
                 recovered[(j, r)] = data_packets[j]
                 worker = plan.data_group[j][r]
-                dst = self.job.node_of(worker)
+                dst = self.node_hosting(worker)
                 scatter_requests.append(
                     TransferRequest(src=decode_node, dst=dst, nbytes=logical_packet)
                 )
@@ -964,7 +1190,7 @@ class ECCheckEngine(CheckpointEngine):
 
         # Every worker gets its packet back; training can resume.
         for worker in range(self.job.world_size):
-            j, r = self.group_and_index(worker)
+            j, r = self.group_and_index(worker, plan)
             self._install_worker_state(version, worker, recovered[(j, r)], surviving)
         self._rebroadcast_metadata(version, failed_nodes, surviving)
 
@@ -1004,8 +1230,9 @@ class ECCheckEngine(CheckpointEngine):
         ]
         reencode_seconds = 0.0
         if lost_parities:
+            encoder = self.encoder_for(plan.k, plan.m)
             for r in range(groups):
-                parity_packets = self.encoder.encode(
+                parity_packets = encoder.encode(
                     [recovered[(j, r)] for j in range(plan.k)]
                 )
                 for i in lost_parities:

@@ -111,7 +111,14 @@ def max_overlap_pairing_sweepline(
             default=None,
         )
         if best is None:
-            raise ShardingError("more data groups than available nodes")
+            # Every overlapping origin is already used.  Any unused node
+            # serves with zero overlap (ties break low, as in the brute
+            # force) — this arises when regrouping over a node subset
+            # whose intervals no longer cover every data interval.
+            unused = [n for n in range(len(origin_group)) if n not in used]
+            if not unused:
+                raise ShardingError("more data groups than available nodes")
+            best = (0, -min(unused))
         node = -best[1]
         results[j] = (node, best[0])
         used.add(node)
@@ -166,18 +173,37 @@ class PlacementPlan:
         raise ShardingError(f"node {node} is in neither role")
 
 
-def build_data_group(world_size: int, k: int) -> list[list[int]]:
-    """Partition workers into ``k`` equal consecutive groups.
+def build_data_group(
+    world_size: int, k: int, allow_uneven: bool = False
+) -> list[list[int]]:
+    """Partition workers into ``k`` consecutive groups.
+
+    By default the groups must be exactly equal (the paper's layout, and
+    what the XOR-reduction plan requires).  With ``allow_uneven`` the
+    partition is balanced instead — group sizes differ by at most one,
+    larger groups first — which elastic regrouping uses when a shrunk
+    ``k'`` does not divide the world size.
 
     Raises:
-        ShardingError: if ``k`` does not divide the world size.
+        ShardingError: if ``k`` is out of range, or (without
+            ``allow_uneven``) does not divide the world size.
     """
-    if k < 1 or world_size % k:
+    if k < 1 or k > world_size:
+        raise ShardingError(
+            f"k={k} out of range [1, world size {world_size}]"
+        )
+    if world_size % k and not allow_uneven:
         raise ShardingError(
             f"k={k} must divide world size {world_size}"
         )
-    per = world_size // k
-    return [list(range(j * per, (j + 1) * per)) for j in range(k)]
+    base, extra = divmod(world_size, k)
+    groups: list[list[int]] = []
+    start = 0
+    for j in range(k):
+        size = base + (1 if j < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
 
 
 def select_data_parity_nodes(
@@ -197,6 +223,52 @@ def select_data_parity_nodes(
     data_group = build_data_group(world_size, k)
     data_nodes = max_overlap_pairing_sweepline(origin_group, data_group)
     parity_nodes = [node for node in range(n) if node not in set(data_nodes)]
+    return PlacementPlan(
+        data_nodes=data_nodes, parity_nodes=parity_nodes, data_group=data_group
+    )
+
+
+def regroup_plan(
+    origin_group: list[list[int]],
+    active_nodes: list[int],
+    k: int,
+    allow_uneven: bool = False,
+) -> PlacementPlan:
+    """Placement over a *subset* of nodes, for elastic regrouping.
+
+    After ``f`` node losses with no spare available, checkpointing
+    continues on the survivors with a shrunk ``(k', m')``: the data
+    groups still partition **all** workers (every worker's packet must
+    land in some chunk), but only ``active_nodes`` host chunks.  The
+    same max-overlap pairing picks which survivors become data nodes;
+    the returned plan's ``data_nodes``/``parity_nodes`` are real node
+    ids from ``active_nodes``.
+
+    Args:
+        origin_group: the *full* cluster's per-node worker intervals.
+        active_nodes: surviving node ids, ascending.
+        k: number of data chunks; ``m = len(active_nodes) - k``.
+        allow_uneven: permit ``k`` not dividing the world size
+            (balanced groups, sizes differing by at most one).
+
+    Raises:
+        ShardingError: for an empty/invalid subset or out-of-range ``k``.
+    """
+    if not active_nodes:
+        raise ShardingError("active_nodes must be non-empty")
+    if sorted(set(active_nodes)) != sorted(active_nodes):
+        raise ShardingError(f"active_nodes has duplicates: {active_nodes}")
+    for node in active_nodes:
+        if not 0 <= node < len(origin_group):
+            raise ShardingError(f"active node {node} out of range")
+    if not 1 <= k <= len(active_nodes):
+        raise ShardingError(f"k={k} out of range [1, {len(active_nodes)}]")
+    world_size = sum(len(g) for g in origin_group)
+    data_group = build_data_group(world_size, k, allow_uneven=allow_uneven)
+    active_origin = [origin_group[node] for node in active_nodes]
+    local = max_overlap_pairing_sweepline(active_origin, data_group)
+    data_nodes = [active_nodes[i] for i in local]
+    parity_nodes = [n for n in active_nodes if n not in set(data_nodes)]
     return PlacementPlan(
         data_nodes=data_nodes, parity_nodes=parity_nodes, data_group=data_group
     )

@@ -1,0 +1,33 @@
+"""Elastic cluster membership for erasure-coded checkpointing.
+
+Three cooperating pieces layered on the existing engines:
+
+* :mod:`~repro.elastic.membership` — who is in the cluster: per-rank
+  liveness, the node-id identity ledger, and a time-ordered event log.
+* :mod:`~repro.elastic.repair` — background redundancy repair: when a
+  spare joins, a planner derives the lost chunks from any ``k``
+  survivors and streams them through idle-slot scheduled transfers,
+  tracked by a crash-consistent resumable ledger.
+* :mod:`~repro.elastic.policy` — degraded-shape selection under a
+  redundancy floor, plus an online MTBF-driven ``(k, m)`` recommender.
+* :mod:`~repro.elastic.controller` — the cluster controller tying them
+  together around a :class:`~repro.checkpoint.manager.CheckpointManager`.
+"""
+
+from repro.elastic.controller import ElasticClusterController
+from repro.elastic.membership import MembershipEvent, MembershipLog, MembershipView
+from repro.elastic.policy import RedundancyPolicy, choose_degraded_shape
+from repro.elastic.repair import RepairExecutor, RepairItem, RepairLedger, plan_repair
+
+__all__ = [
+    "ElasticClusterController",
+    "MembershipEvent",
+    "MembershipLog",
+    "MembershipView",
+    "RedundancyPolicy",
+    "RepairExecutor",
+    "RepairItem",
+    "RepairLedger",
+    "choose_degraded_shape",
+    "plan_repair",
+]

@@ -347,6 +347,10 @@ class TraceAnalysis:
 
     save_phase_totals: Dict[str, float] = field(default_factory=dict)
     restore_phase_totals: Dict[str, float] = field(default_factory=dict)
+    #: Elastic-membership spans: background repair (derive/stream/commit)
+    #: and degraded regroups, empty for traces without an elastic run.
+    repair_phase_totals: Dict[str, float] = field(default_factory=dict)
+    regroup_phase_totals: Dict[str, float] = field(default_factory=dict)
     crosscheck_problems: List[str] = field(default_factory=list)
     critical_paths: List[PipelineCriticalPath] = field(default_factory=list)
     utilization: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -357,9 +361,16 @@ def analyze_trace(
     trace: Trace,
     save_breakdowns: Optional[List[Dict[str, float]]] = None,
     restore_breakdowns: Optional[List[Dict[str, float]]] = None,
+    repair_breakdowns: Optional[List[Dict[str, float]]] = None,
+    regroup_breakdowns: Optional[List[Dict[str, float]]] = None,
     rel_tol: float = 1e-9,
 ) -> TraceAnalysis:
     """Run every analysis; reconcile against report breakdowns if given.
+
+    ``repair_breakdowns``/``regroup_breakdowns`` come from an elastic
+    run's :class:`~repro.elastic.repair.RepairReport` breakdowns and the
+    controller's ``regroup_reports``; their sim totals must match the
+    trace's repair/regroup phase spans to ``rel_tol``.
 
     Raises:
         ReproError: if the trace holds no spans at all.
@@ -369,18 +380,22 @@ def analyze_trace(
     analysis = TraceAnalysis(
         save_phase_totals=phase_totals(trace.spans, kind="save"),
         restore_phase_totals=phase_totals(trace.spans, kind="restore"),
+        repair_phase_totals=phase_totals(trace.spans, kind="repair"),
+        regroup_phase_totals=phase_totals(trace.spans, kind="regroup"),
         critical_paths=pipeline_critical_path(trace.spans),
         utilization=thread_utilization(trace.spans),
         idle_slots=idle_slot_report(trace),
     )
-    if save_breakdowns is not None:
-        analysis.crosscheck_problems += crosscheck_totals(
-            analysis.save_phase_totals, save_breakdowns, rel_tol
-        )
-    if restore_breakdowns is not None:
-        analysis.crosscheck_problems += crosscheck_totals(
-            analysis.restore_phase_totals, restore_breakdowns, rel_tol
-        )
+    for totals, breakdowns in (
+        (analysis.save_phase_totals, save_breakdowns),
+        (analysis.restore_phase_totals, restore_breakdowns),
+        (analysis.repair_phase_totals, repair_breakdowns),
+        (analysis.regroup_phase_totals, regroup_breakdowns),
+    ):
+        if breakdowns is not None:
+            analysis.crosscheck_problems += crosscheck_totals(
+                totals, breakdowns, rel_tol
+            )
     return analysis
 
 
@@ -405,6 +420,10 @@ def render_analysis(analysis: TraceAnalysis) -> str:
     lines += _phase_lines("save phases (sim):", analysis.save_phase_totals)
     if analysis.restore_phase_totals:
         lines += _phase_lines("restore phases (sim):", analysis.restore_phase_totals)
+    if analysis.repair_phase_totals:
+        lines += _phase_lines("repair phases (sim):", analysis.repair_phase_totals)
+    if analysis.regroup_phase_totals:
+        lines += _phase_lines("regroup phases (sim):", analysis.regroup_phase_totals)
 
     if analysis.critical_paths:
         lines.append("pipeline critical paths (wall):")

@@ -1,0 +1,121 @@
+"""Spare-machine provisioning: replacement delays and pool exhaustion.
+
+Production clusters replace a failed machine from a finite spare pool,
+after a provisioning delay (reimage, rejoin fabric, warm caches).  The
+elastic controller's degraded window is exactly the interval between a
+failure and the moment the spare's chunks are repaired, so the delay
+distribution and pool size drive ``time_to_full_redundancy``.
+
+Delays are sampled log-normally — provisioning is a multiplicative chain
+of steps (boot x image pull x health checks), the textbook log-normal
+generator — with an optional exhaustion regime: when the pool is empty,
+requests queue until a restock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def sample_replacement_delay(
+    rng: np.random.Generator,
+    median_s: float = 600.0,
+    sigma: float = 0.5,
+) -> float:
+    """One provisioning delay in seconds, log-normal around ``median_s``.
+
+    Raises:
+        SimulationError: for a non-positive median or negative sigma.
+    """
+    if median_s <= 0:
+        raise SimulationError(f"median_s must be positive, got {median_s}")
+    if sigma < 0:
+        raise SimulationError(f"sigma must be >= 0, got {sigma}")
+    return float(np.exp(np.log(median_s) + sigma * rng.standard_normal()))
+
+
+@dataclass
+class SpareRequest:
+    """A pending replacement for ``rank``, arriving at ``ready_at``."""
+
+    rank: int
+    requested_at: float
+    ready_at: float
+
+
+@dataclass
+class SparePool:
+    """A finite pool of replacement machines with provisioning delay.
+
+    Args:
+        size: spares available (``None`` = unlimited).
+        median_delay_s: median provisioning delay.
+        sigma: log-normal shape of the delay.
+
+    The pool is driven in simulated time: :meth:`request` reserves a
+    spare (or refuses when exhausted), :meth:`ready_before` yields the
+    requests whose provisioning completed by a given time.
+    """
+
+    size: int | None = None
+    median_delay_s: float = 600.0
+    sigma: float = 0.5
+    pending: list[SpareRequest] = field(default_factory=list)
+    dispensed: int = 0
+    refused: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size is not None and self.size < 0:
+            raise SimulationError(f"pool size must be >= 0, got {self.size}")
+
+    @property
+    def remaining(self) -> int | None:
+        """Spares left (None = unlimited)."""
+        if self.size is None:
+            return None
+        return self.size - self.dispensed
+
+    def request(
+        self, rank: int, sim_time: float, rng: np.random.Generator
+    ) -> SpareRequest | None:
+        """Reserve a spare for ``rank``; None when the pool is exhausted."""
+        if self.size is not None and self.dispensed >= self.size:
+            self.refused += 1
+            return None
+        delay = sample_replacement_delay(rng, self.median_delay_s, self.sigma)
+        req = SpareRequest(
+            rank=rank, requested_at=sim_time, ready_at=sim_time + delay
+        )
+        self.dispensed += 1
+        self.pending.append(req)
+        return req
+
+    def ready_before(self, sim_time: float) -> list[SpareRequest]:
+        """Pop every pending request whose spare is provisioned by now."""
+        ready = [r for r in self.pending if r.ready_at <= sim_time]
+        self.pending = [r for r in self.pending if r.ready_at > sim_time]
+        return sorted(ready, key=lambda r: r.ready_at)
+
+    def requeue(self, request: SpareRequest) -> None:
+        """Return a popped-but-unconsumed request to the pending queue.
+
+        Used when the consumer crashed between popping a batch with
+        :meth:`ready_before` and actually admitting every machine — the
+        provisioned spares are not lost, they are still racked and ready.
+        """
+        self.pending.append(request)
+
+    def restock(self, count: int) -> None:
+        """Add spares back to a finite pool (no-op when unlimited).
+
+        Raises:
+            SimulationError: for a negative count.
+        """
+        if count < 0:
+            raise SimulationError(f"restock count must be >= 0, got {count}")
+        if self.size is not None:
+            self.size += count

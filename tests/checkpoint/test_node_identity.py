@@ -1,0 +1,129 @@
+"""Tests for node identity (rank vs machine id) and the manager's
+degraded-window / time-to-full-redundancy ledger."""
+
+import pytest
+
+from repro.errors import CheckpointError, ShardingError
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+
+
+def make_job(seed=3):
+    return TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=5e-4,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# TrainingJob node identity
+# ---------------------------------------------------------------------------
+def test_node_ids_default_to_ranks():
+    job = make_job()
+    assert [job.node_id_of(r) for r in range(4)] == [0, 1, 2, 3]
+    with pytest.raises(ShardingError):
+        job.node_id_of(4)
+
+
+def test_replace_node_allocates_fresh_id_and_retires_old():
+    job = make_job()
+    new_id = job.replace_node(1)
+    assert new_id == 4
+    assert job.node_id_of(1) == 4
+    assert 1 in job.retired_node_ids
+    # The replacement arrives with empty GPUs.
+    assert all(
+        job.state_dicts[w] is None for w in job.cluster.workers_of(1)
+    )
+
+
+def test_replace_node_never_reuses_ids():
+    job = make_job()
+    first = job.replace_node(1)
+    second = job.replace_node(1)  # the same slot fails twice
+    third = job.replace_node(3)
+    assert len({0, 1, 2, 3, first, second, third}) == 7
+    # Explicitly requesting an in-use or retired id is rejected.
+    with pytest.raises(ShardingError):
+        job.replace_node(0, node_id=third)
+    with pytest.raises(ShardingError):
+        job.replace_node(0, node_id=first)
+    # A never-seen explicit id is fine, and auto-allocation continues
+    # past it afterwards.
+    job.replace_node(0, node_id=42)
+    assert job.replace_node(2) == 43
+
+
+def test_replace_node_rejects_bad_rank():
+    job = make_job()
+    with pytest.raises(ShardingError):
+        job.replace_node(7)
+
+
+# ---------------------------------------------------------------------------
+# Manager: register_replacement + degraded-window ledger
+# ---------------------------------------------------------------------------
+def test_register_replacement_counts_and_delegates():
+    job = make_job()
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    manager = CheckpointManager(job, engine, interval=1)
+    new_id = manager.register_replacement(2)
+    assert new_id == job.node_id_of(2) == 4
+    assert manager.stats.replacements == 1
+
+
+def test_degraded_window_merges_and_measures_from_first_loss():
+    job = make_job()
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    manager = CheckpointManager(job, engine, interval=1)
+    assert not manager.degraded
+    manager.mark_degraded(100.0, failed_ranks=[1])
+    # A second failure inside the window keeps the original start and
+    # merges the rank set.
+    manager.mark_degraded(150.0, failed_ranks=[3])
+    assert manager.degraded
+    entry = manager.mark_fully_redundant(400.0)
+    assert entry["degraded_at"] == 100.0
+    assert entry["failed_ranks"] == [1, 3]
+    assert entry["degraded_seconds"] == pytest.approx(300.0)
+    assert not manager.degraded
+    assert manager.time_to_full_redundancy() == [pytest.approx(300.0)]
+    assert manager.stats.degraded_seconds == pytest.approx(300.0)
+
+
+def test_mark_fully_redundant_is_noop_when_not_degraded():
+    job = make_job()
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    manager = CheckpointManager(job, engine, interval=1)
+    assert manager.mark_fully_redundant(10.0) is None
+    assert manager.time_to_full_redundancy() == []
+
+
+def test_mark_fully_redundant_rejects_time_before_window():
+    job = make_job()
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    manager = CheckpointManager(job, engine, interval=1)
+    manager.mark_degraded(100.0)
+    with pytest.raises(CheckpointError):
+        manager.mark_fully_redundant(50.0)
+
+
+def test_successive_windows_accumulate_degraded_seconds():
+    job = make_job()
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    manager = CheckpointManager(job, engine, interval=1)
+    manager.mark_degraded(0.0)
+    manager.mark_fully_redundant(10.0)
+    manager.mark_degraded(100.0)
+    manager.mark_fully_redundant(125.0)
+    assert manager.time_to_full_redundancy() == [
+        pytest.approx(10.0),
+        pytest.approx(25.0),
+    ]
+    assert manager.stats.degraded_seconds == pytest.approx(35.0)

@@ -1,0 +1,69 @@
+"""Tests for the membership view and the lifecycle event log."""
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.elastic.membership import MembershipLog, MembershipView
+
+
+def test_view_starts_at_full_strength():
+    view = MembershipView(4)
+    assert view.at_full_strength
+    assert view.alive == [0, 1, 2, 3]
+    assert view.dead == set()
+
+
+def test_fail_returns_only_newly_dead():
+    view = MembershipView(4)
+    assert view.fail({1, 3}) == {1, 3}
+    assert view.fail({3, 2}) == {2}
+    assert view.alive == [0]
+    assert not view.at_full_strength
+
+
+def test_fail_out_of_range_rank_rejected():
+    view = MembershipView(2)
+    with pytest.raises(ShardingError):
+        view.fail({2})
+    with pytest.raises(ShardingError):
+        view.fail({-1})
+
+
+def test_join_restores_rank_and_rejects_live_rank():
+    view = MembershipView(3)
+    view.fail({1})
+    view.join(1)
+    assert view.at_full_strength
+    with pytest.raises(ShardingError):
+        view.join(1)
+
+
+def test_view_rejects_empty_cluster():
+    with pytest.raises(ShardingError):
+        MembershipView(0)
+
+
+def test_log_records_in_time_order():
+    log = MembershipLog()
+    log.record(1.0, "failure", rank=2, node_id=2)
+    log.record(5.0, "join", rank=2, node_id=4)
+    assert [e.kind for e in log.events] == ["failure", "join"]
+    with pytest.raises(ShardingError):
+        log.record(4.0, "failure", rank=0)
+
+
+def test_log_rejects_unknown_kind():
+    log = MembershipLog()
+    with pytest.raises(ShardingError):
+        log.record(0.0, "teleport", rank=0)
+
+
+def test_log_filtering_and_serialization():
+    log = MembershipLog()
+    log.record(0.0, "failure", rank=1, node_id=1)
+    log.record(2.0, "regroup", k=1, m=2, active=(0, 2, 3))
+    assert [e.rank for e in log.of_kind("failure")] == [1]
+    payload = log.to_list()
+    assert payload[1]["kind"] == "regroup"
+    assert payload[1]["detail"]["k"] == 1
+    assert payload[1]["detail"]["active"] == (0, 2, 3)

@@ -86,6 +86,42 @@ def test_chaos_engine_filter():
     assert "recovery cycles" in output
 
 
+def test_elastic_campaign_command(tmp_path):
+    import json
+
+    report_path = tmp_path / "elastic.json"
+    code, output = run_cli(
+        "elastic", "--episodes", "3", "--seed", "0",
+        "--output", str(report_path),
+    )
+    assert code == 0
+    assert "0 violations" in output
+    payload = json.loads(report_path.read_text())
+    assert payload["violations"] == []
+    assert len(payload["episodes"]) == 3
+    assert "provenance" in payload
+
+
+def test_elastic_violations_exit_nonzero(monkeypatch):
+    from repro.chaos import elastic_campaign
+
+    class FakeEpisode:
+        episode = 0
+        cycles = []
+        violations = ["forced violation"]
+        redundancy_ledger = []
+        trace_summary = None
+
+    monkeypatch.setattr(
+        elastic_campaign,
+        "run_elastic_episode",
+        lambda episode, config: FakeEpisode(),
+    )
+    code, output = run_cli("elastic", "--episodes", "1", "--output", "")
+    assert code == 1
+    assert "VIOLATION" in output
+
+
 @pytest.fixture(scope="module")
 def traced_file(tmp_path_factory):
     """A small traced run emitted through the CLI, shared by the
