@@ -24,6 +24,7 @@ if __name__ == "__main__":
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--output", default="BENCH_encode_throughput.json")
+    parser.add_argument("--autotune", action="store_true")
     args = parser.parse_args()
     payload = args.payload_mib
     if payload is None:
@@ -35,5 +36,6 @@ if __name__ == "__main__":
             repeats=args.repeats,
             threads=args.threads,
             quick=args.quick,
+            autotune=args.autotune,
         )
     )

@@ -1,14 +1,25 @@
 """Encode/decode throughput benchmark for the word-packed kernel layer.
 
-Measures, per code shape, five implementations over the same payload:
+Measures, per code shape, the implementations over the same payload:
 
 * ``fast_encode`` — :meth:`~repro.ec.cauchy.CauchyRSCode.encode_bitmatrix`
   (compiled cached schedule, cache-blocked word-packed kernels),
+* ``pool_encode`` / ``pool_encode_t{1,2,4,8}`` — the thread-pool encoder,
+  pinned non-adaptive so the numbers are the *pure pooled* cost (the
+  adaptive encoder would silently fall back to single-shot where threads
+  lose, hiding the scaling curve the sweep exists to show),
+* ``proc_encode`` — the shared-memory process-pool encoder (workers =
+  ``--threads``), including the staging memcpy into the segments,
 * ``reference_encode`` — the preserved pre-kernel bitmatrix encoder,
 * ``field_encode`` — the GF(2^w) region-multiply path,
 * ``fast_decode`` / ``reference_decode`` / ``field_decode`` — the matching
   decode paths after losing the first ``m`` data chunks (worst case: every
   output block must be reconstructed).
+
+``--autotune`` first runs the schedule/kernel autotuner at each shape's
+block size and persists the winner table, so the timed ``fast_encode``
+numbers (and every future process on this machine) use the measured-best
+variant instead of the static default.
 
 Throughput is data bytes divided by the best-of-``repeats`` wall time.
 Results land in ``BENCH_encode_throughput.json`` at the repo root (or
@@ -30,9 +41,14 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.ec import autotune as autotune_mod
 from repro.ec.base import CodeParams
 from repro.ec.cauchy import CauchyRSCode
+from repro.ec.procpool import SharedMemoryProcessPoolEncoder
 from repro.ec.threadpool import ThreadPoolEncoder
+
+#: Thread counts of the scaling sweep the full benchmark reports.
+SWEEP_THREADS = (1, 2, 4, 8)
 
 #: The paper's testbed shape first (Table I workloads encode with k=12, m=4
 #: in the large-cluster configuration), then smaller Table-I-adjacent shapes.
@@ -71,10 +87,19 @@ def _best_time(fn: Callable[[], Any], repeats: int) -> float:
 
 
 def _bench_shape(
-    k: int, m: int, w: int, payload_bytes: int, repeats: int, threads: int
+    k: int,
+    m: int,
+    w: int,
+    payload_bytes: int,
+    repeats: int,
+    threads: int,
+    sweep: bool = False,
 ) -> dict[str, Any]:
     code = CauchyRSCode(CodeParams(k=k, m=m, w=w))
-    pool = ThreadPoolEncoder(code, threads=threads)
+    # adaptive=False: the bench wants the pure pooled number (and a
+    # comparable history series), not the fallback the adaptive encoder
+    # would take on hosts where pooling loses.
+    pool = ThreadPoolEncoder(code, threads=threads, adaptive=False)
     block = _aligned_block_size(payload_bytes, k, w)
     rng = np.random.default_rng(k * 1_000 + m * 100 + w)
     blocks = [rng.integers(0, 256, size=block, dtype=np.uint8) for _ in range(k)]
@@ -105,6 +130,17 @@ def _bench_shape(
         ),
         "field_decode": _best_time(lambda: code.decode(survivors), repeats),
     }
+    with SharedMemoryProcessPoolEncoder(code, workers=threads) as proc:
+        parity_proc = proc.encode(blocks)  # warm the pool + segments
+        for a, b in zip(parity_proc, parity_fast):
+            assert np.array_equal(a, b), "process-pool encode diverged"
+        times["proc_encode"] = _best_time(lambda: proc.encode(blocks), repeats)
+    if sweep:
+        for t in SWEEP_THREADS:
+            sweep_pool = ThreadPoolEncoder(code, threads=t, adaptive=False)
+            times[f"pool_encode_t{t}"] = _best_time(
+                lambda: sweep_pool.encode(blocks), repeats
+            )
     result: dict[str, Any] = {
         "k": k,
         "m": m,
@@ -132,17 +168,21 @@ def run_benchmark(
     repeats: int = 3,
     threads: int = 4,
     quick: bool = False,
+    autotune: bool = False,
 ) -> dict[str, Any]:
     """Run the throughput matrix and return the results document.
 
     In quick mode only the primary (12, 4, 8) shape runs, on a small
-    payload, and the smoke-test floors are asserted.
+    payload, and the smoke-test floors are asserted; the full run also
+    reports the thread-scaling sweep.  ``autotune=True`` tunes each
+    shape first and persists the winner table to the autotune cache.
     """
     if quick:
         shapes = [(12, 4, 8)]
     elif shapes is None:
         shapes = FULL_SHAPES
     payload_bytes = int(payload_mib * 2**20)
+    tuned: dict[str, str] = {}
     results = []
     for k, m, w in shapes:
         shape_payload = payload_bytes
@@ -150,7 +190,19 @@ def run_benchmark(
             # Secondary shapes run on a smaller payload to keep the full
             # matrix affordable; the headline number is the first shape.
             shape_payload = int(8 * 2**20)
-        results.append(_bench_shape(k, m, w, shape_payload, repeats, threads))
+        if autotune:
+            code = CauchyRSCode(CodeParams(k=k, m=m, w=w))
+            block = _aligned_block_size(shape_payload, k, w)
+            best, _timings = autotune_mod.autotune(code, block, repeats=repeats)
+            tuned[f"({k},{m},{w})@{block}"] = (
+                f"{best.schedule_kind}/{best.decompose_kind}"
+                f"/{best.chunk_bytes // 1024}K"
+            )
+        results.append(
+            _bench_shape(k, m, w, shape_payload, repeats, threads, sweep=not quick)
+        )
+    if autotune:
+        autotune_mod.save_cache()
     from repro.obs.provenance import provenance_stamp
 
     doc = {
@@ -164,6 +216,8 @@ def run_benchmark(
         "provenance": provenance_stamp(),
         "shapes": results,
     }
+    if autotune:
+        doc["autotune"] = {"cache": autotune_mod.cache_path(), "winners": tuned}
     if quick:
         primary = results[0]["speedups"]
         ref_floor = (
@@ -195,22 +249,25 @@ def render(doc: dict[str, Any]) -> str:
         label = f"({shape['k']},{shape['m']},{shape['w']})"
         tp = shape["throughput_mib_s"]
         sp = shape["speedups"]
+        speedup_of = {
+            "reference_encode": f"{sp['encode_vs_reference']:.2f}x",
+            "field_encode": f"{sp['encode_vs_field']:.2f}x",
+            "reference_decode": f"{sp['decode_vs_reference']:.2f}x",
+            "field_decode": f"{sp['decode_vs_field']:.2f}x",
+        }
+        order = [
+            "fast_encode",
+            "pool_encode",
+            *(f"pool_encode_t{t}" for t in SWEEP_THREADS),
+            "proc_encode",
+            "reference_encode",
+            "field_encode",
+            "fast_decode",
+            "reference_decode",
+            "field_decode",
+        ]
         rows = [
-            ("fast_encode", tp["fast_encode"], ""),
-            ("pool_encode", tp["pool_encode"], ""),
-            (
-                "reference_encode",
-                tp["reference_encode"],
-                f"{sp['encode_vs_reference']:.2f}x",
-            ),
-            ("field_encode", tp["field_encode"], f"{sp['encode_vs_field']:.2f}x"),
-            ("fast_decode", tp["fast_decode"], ""),
-            (
-                "reference_decode",
-                tp["reference_decode"],
-                f"{sp['decode_vs_reference']:.2f}x",
-            ),
-            ("field_decode", tp["field_decode"], f"{sp['decode_vs_field']:.2f}x"),
+            (name, tp[name], speedup_of.get(name, "")) for name in order if name in tp
         ]
         for name, mib_s, speedup in rows:
             lines.append(f"{label:>12} {name:>18} {mib_s:>10.1f} {speedup:>9}")
@@ -223,6 +280,7 @@ def main(
     repeats: int = 3,
     threads: int = 4,
     quick: bool = False,
+    autotune: bool = False,
     out=None,
 ) -> int:
     """Driver shared by the CLI subcommand and the benchmarks/ wrapper."""
@@ -230,9 +288,18 @@ def main(
 
     out = out or sys.stdout
     doc = run_benchmark(
-        payload_mib=payload_mib, repeats=repeats, threads=threads, quick=quick
+        payload_mib=payload_mib,
+        repeats=repeats,
+        threads=threads,
+        quick=quick,
+        autotune=autotune,
     )
     print(render(doc), file=out)
+    if autotune:
+        winners = ", ".join(
+            f"{shape}: {label}" for shape, label in doc["autotune"]["winners"].items()
+        )
+        print(f"autotuned -> {doc['autotune']['cache']} ({winners})", file=out)
     if output:
         with open(output, "w") as fh:
             json.dump(doc, fh, indent=2)

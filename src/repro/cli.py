@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_encode_throughput.json",
         help="JSON results path ('' to skip writing)",
     )
+    bench.add_argument(
+        "--autotune",
+        action="store_true",
+        help="measure schedule/kernel variants per shape first and persist "
+        "the winners to the autotune cache (REPRO_AUTOTUNE_CACHE or "
+        ".repro_autotune.json)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -258,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gate the newest existing history entry without appending",
     )
+    history.add_argument(
+        "--ratchet-ratio",
+        type=float,
+        default=0.9,
+        help="ratcheting floor: fail when throughput drops below this "
+        "fraction of the host's best recorded value (default 0.9)",
+    )
+    history.add_argument(
+        "--no-ratchet",
+        action="store_true",
+        help="skip the ratcheting-floor check (rolling baseline only)",
+    )
 
     selftest = sub.add_parser(
         "selftest",
@@ -335,6 +354,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             repeats=args.repeats,
             threads=args.threads,
             quick=args.quick,
+            autotune=args.autotune,
             out=out,
         )
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -454,8 +474,10 @@ def _bench_history(args, out) -> int:
 
     from repro.obs.regression import (
         append_history,
+        check_ratchet,
         check_regression,
         load_history,
+        render_ratchet,
         render_result,
     )
 
@@ -485,7 +507,12 @@ def _bench_history(args, out) -> int:
         history, threshold=args.threshold, window=args.window
     )
     print(render_result(result), file=out)
-    return 1 if result.regressions else 0
+    failed = bool(result.regressions)
+    if not args.no_ratchet:
+        ratchet = check_ratchet(history, ratio=args.ratchet_ratio)
+        print(render_ratchet(ratchet), file=out)
+        failed = failed or bool(ratchet.violations)
+    return 1 if failed else 0
 
 
 def _selftest(args, out) -> int:

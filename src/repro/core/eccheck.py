@@ -65,6 +65,7 @@ from repro.core.protocol import (
 from repro.core.reduction import ReductionPlan, build_reduction_plan
 from repro.ec.base import CodeParams
 from repro.ec.cauchy import CauchyRSCode
+from repro.ec.procpool import SharedMemoryProcessPoolEncoder, make_encoder
 from repro.ec.threadpool import ThreadPoolEncoder
 from repro.sim.network import TransferRequest, gbps
 from repro.tensors.state_dict import map_tensors
@@ -81,7 +82,12 @@ class ECCheckConfig:
         w: GF(2^w) word size of the Cauchy RS code.
         buffer_bytes: size of one data/encoding buffer (64 MB in the
             paper's settings); sets the pipelining granularity.
-        encode_threads: CPU threads in the encoding pool.
+        encode_threads: CPU threads (or worker processes) in the
+            encoding pool.
+        encoder_backend: ``"thread"`` (adaptive in-process pool, the
+            default) or ``"process"`` (shared-memory process pool — GIL
+            immune, worth it for large buffers on multi-core hosts; see
+            DESIGN.md "Hot path architecture" for the trade-off).
         use_sweepline_placement: pick data nodes by max-overlap sweep line
             (False = naive "first k nodes", the ablation baseline).
         use_pipelining: overlap encode / XOR / P2P per buffer (False =
@@ -94,6 +100,7 @@ class ECCheckConfig:
     w: int = 8
     buffer_bytes: int = 64 * 2**20
     encode_threads: int = 4
+    encoder_backend: str = "thread"
     use_sweepline_placement: bool = True
     use_pipelining: bool = True
     packet_alignment: int = 64
@@ -130,7 +137,7 @@ class ECCheckEngine(CheckpointEngine):
         self.placement: PlacementPlan | None = None
         self.reduction_plan: ReductionPlan | None = None
         self.code: CauchyRSCode | None = None
-        self.encoder: ThreadPoolEncoder | None = None
+        self.encoder: ThreadPoolEncoder | SharedMemoryProcessPoolEncoder | None = None
         self.last_pipeline_stats = None
         self._last_packets: dict[int, np.ndarray] = {}
         self._last_full_version: int | None = None
@@ -190,7 +197,9 @@ class ECCheckEngine(CheckpointEngine):
         # Recovery re-encodes whole chunks; route them through the pooled
         # encoder so they use the same word-packed kernel fast path (and
         # sub-task fan-out) as the save pipeline.
-        self.encoder = ThreadPoolEncoder(self.code, threads=cfg.encode_threads)
+        self.encoder = make_encoder(
+            self.code, backend=cfg.encoder_backend, threads=cfg.encode_threads
+        )
         self.active_nodes = list(range(n))
         self._node_of_worker = None
 
@@ -261,9 +270,17 @@ class ECCheckEngine(CheckpointEngine):
         self.placement = plan
         self.reduction_plan = build_reduction_plan(plan, node_of_worker)
         self.code = self.code_for(k, m)
-        self.encoder = ThreadPoolEncoder(
-            self.code, threads=self.config.encode_threads
-        )
+        if isinstance(self.encoder, SharedMemoryProcessPoolEncoder):
+            # Re-point the live pool at the new shape: this releases the
+            # shared segments *before* any encode at the new (k, m), so
+            # the elastic path never resizes buffers under live workers.
+            self.encoder.reconfigure(self.code)
+        else:
+            self.encoder = make_encoder(
+                self.code,
+                backend=self.config.encoder_backend,
+                threads=self.config.encode_threads,
+            )
         self.config = dataclass_replace(self.config, k=k, m=m)
         self.active_nodes = active
         identity = all(node_of_worker[w] == self.job.node_of(w) for w in range(world))
@@ -336,8 +353,13 @@ class ECCheckEngine(CheckpointEngine):
             return self._node_of_worker[worker]
         return self.job.node_of(worker)
 
-    def encoder_for(self, k: int, m: int) -> ThreadPoolEncoder:
-        """An encoder matching a chunk shape (the live one when it fits)."""
+    def encoder_for(self, k: int, m: int):
+        """An encoder matching a chunk shape (the live one when it fits).
+
+        Ad-hoc shapes (recovery against an old placement) get a throwaway
+        thread-backed encoder regardless of ``encoder_backend`` — a
+        one-shot process pool would pay worker spawn for a single encode.
+        """
         assert self.encoder is not None
         if (k, m) == (self.config.k, self.config.m):
             return self.encoder

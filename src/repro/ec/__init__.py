@@ -10,9 +10,12 @@ The coding stack has three levels:
 2. **Schedules** (:mod:`repro.ec.schedule`) compile a Cauchy bitmatrix into
    an explicit list of XOR operations, with an optimised variant that reuses
    intermediate parity rows.
-3. **Encoders** (:mod:`repro.ec.encoder`, :mod:`repro.ec.threadpool`) apply
-   a code to real byte payloads — splitting, padding, chunking for
-   thread-pool parallelism, and reassembling decoded output.
+3. **Encoders** (:mod:`repro.ec.encoder`, :mod:`repro.ec.threadpool`,
+   :mod:`repro.ec.procpool`) apply a code to real byte payloads —
+   splitting, padding, chunking for thread- or process-pool parallelism
+   (the latter over shared-memory segments), and reassembling decoded
+   output.  :mod:`repro.ec.autotune` picks the fastest schedule/kernel
+   variant per code shape from measurement.
 
 Underneath all three sits the **kernel layer** (:mod:`repro.ec.kernels`):
 word-packed, cache-blocked GF(2) primitives that every hot path — schedule
@@ -41,7 +44,9 @@ from repro.ec.replication import ReplicationCode
 from repro.ec.xor_code import SingleParityCode
 from repro.ec.schedule import XorSchedule, dumb_schedule, paar_schedule, smart_schedule
 from repro.ec.encoder import BlockEncoder, pad_and_split, reassemble
-from repro.ec.threadpool import ThreadPoolEncoder
+from repro.ec.threadpool import EncodeStats, ThreadPoolEncoder, split_ranges
+from repro.ec.procpool import SharedMemoryProcessPoolEncoder, make_encoder
+from repro.ec.autotune import Variant, autotune_cache_info, best_variant
 
 __all__ = [
     "CodeParams",
@@ -68,5 +73,12 @@ __all__ = [
     "BlockEncoder",
     "pad_and_split",
     "reassemble",
+    "EncodeStats",
     "ThreadPoolEncoder",
+    "split_ranges",
+    "SharedMemoryProcessPoolEncoder",
+    "make_encoder",
+    "Variant",
+    "autotune_cache_info",
+    "best_variant",
 ]

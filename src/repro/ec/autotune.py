@@ -1,0 +1,290 @@
+"""Schedule/kernel autotuner: measure once, dispatch forever.
+
+The bitmatrix fast path has three independent tuning axes, none of which
+has a universal winner:
+
+* **schedule kind** — Paar-CSE (``"paar"``) usually executes the fewest
+  XORs, but its longer dependency chains can lose to the level-fused
+  ``"smart"`` schedule (or even the plain-bitmatrix ``"dumb"`` one) at
+  small block sizes where compile-shape overheads dominate;
+* **decompose kind** — the ``packbits`` broadcast-AND split (``"pack"``)
+  vs the 64-bit SWAR word transpose (``"swar"``, w ∈ {8, 16} only) —
+  relative speed flips with w and with how much of the block is
+  L2-resident;
+* **chunk bytes** — the cache-blocking granularity of
+  :func:`repro.ec.kernels.apply_schedule_blocks`.
+
+Every combination is byte-identical by construction (the equivalence
+property tests sweep all of them), so picking differently can only ever
+change wall time — which is what makes it safe to pick *per shape from
+measurement* rather than globally from guesswork.
+
+Winners are keyed by ``(k, m, w, good_matrix, block-size bucket)`` and
+cached in memory plus a small JSON file next to the repo (the disk
+counterpart of the in-process schedule/decode LRUs).  ``repro
+bench-encode --autotune`` populates the file; later processes warm-start
+from it.  Entries record the numpy version and machine that measured
+them and are ignored — not trusted — when either changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.ec.kernels import (
+    DECOMPOSE_KINDS,
+    DEFAULT_CHUNK_BYTES,
+    apply_schedule_blocks,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ec.cauchy import CauchyRSCode
+
+#: Environment variable overriding the on-disk cache location.
+CACHE_ENV = "REPRO_AUTOTUNE_CACHE"
+
+#: Default cache file (repo root when running from a checkout; listed in
+#: .gitignore — measurements are machine-local by definition).
+DEFAULT_CACHE_FILE = ".repro_autotune.json"
+
+#: On-disk format version; bump to orphan old caches wholesale.
+CACHE_VERSION = 1
+
+SCHEDULE_KINDS = ("paar", "smart", "dumb")
+
+#: Chunk sizes worth trying: the L2-resident default and one size up
+#: (fewer workspace refills for shapes whose strips are small).
+CHUNK_CANDIDATES = (DEFAULT_CHUNK_BYTES, DEFAULT_CHUNK_BYTES * 4)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One point in the tuning space; every point is byte-identical."""
+
+    schedule_kind: str = "paar"
+    decompose_kind: str = "pack"
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+
+
+DEFAULT_VARIANT = Variant()
+
+# In-memory winner table plus hit/miss accounting (surfaced as gauges by
+# the obs runner, mirroring schedule_cache_info / decode_cache_info).
+_MEMORY: dict[str, Variant] = {}
+_STATS = {"hits": 0, "misses": 0, "stores": 0, "stale_entries": 0}
+_LOADED = False
+
+
+def cache_path() -> str:
+    return os.environ.get(CACHE_ENV, DEFAULT_CACHE_FILE)
+
+
+def _environment() -> dict[str, str]:
+    """The cache-invalidation fingerprint stored with every entry set."""
+    return {
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "python": platform.python_version_tuple()[0]
+        + "."
+        + platform.python_version_tuple()[1],
+    }
+
+
+def _size_bucket(size: int) -> int:
+    """Power-of-two bucket: blocks within 2x share a winner."""
+    return max(size, 1).bit_length()
+
+
+def _key(code: "CauchyRSCode", size: int) -> str:
+    p = code.params
+    good = int(getattr(code, "good_matrix", False))
+    return f"k={p.k},m={p.m},w={p.w},good={good},bucket={_size_bucket(size)}"
+
+
+def candidate_variants(w: int) -> list[Variant]:
+    """All variants applicable to word size ``w``."""
+    decompose = [k for k in DECOMPOSE_KINDS if k == "pack" or w in (8, 16)]
+    return [
+        Variant(s, d, c)
+        for s in SCHEDULE_KINDS
+        for d in decompose
+        for c in CHUNK_CANDIDATES
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Disk cache
+# ---------------------------------------------------------------------------
+
+
+def load_cache(path: Optional[str] = None) -> int:
+    """Warm-start the in-memory table from disk; returns entries loaded.
+
+    Entries are dropped (counted in ``stale_entries``) when the recorded
+    numpy version or machine differs from the running environment, or on
+    a format-version mismatch — a measurement from a different BLAS/SIMD
+    world is worse than the default.
+    """
+    global _LOADED
+    _LOADED = True
+    path = path or cache_path()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return 0
+    if payload.get("version") != CACHE_VERSION:
+        return 0
+    if payload.get("environment") != _environment():
+        _STATS["stale_entries"] += len(payload.get("entries", {}))
+        return 0
+    loaded = 0
+    for key, entry in payload.get("entries", {}).items():
+        try:
+            variant = Variant(
+                schedule_kind=str(entry["schedule_kind"]),
+                decompose_kind=str(entry["decompose_kind"]),
+                chunk_bytes=int(entry["chunk_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            _STATS["stale_entries"] += 1
+            continue
+        if (
+            variant.schedule_kind not in SCHEDULE_KINDS
+            or variant.decompose_kind not in DECOMPOSE_KINDS
+            or variant.chunk_bytes <= 0
+        ):
+            _STATS["stale_entries"] += 1
+            continue
+        _MEMORY.setdefault(key, variant)
+        loaded += 1
+    return loaded
+
+
+def save_cache(path: Optional[str] = None) -> str:
+    """Persist the in-memory winner table; returns the path written."""
+    path = path or cache_path()
+    payload = {
+        "version": CACHE_VERSION,
+        "environment": _environment(),
+        "entries": {key: asdict(v) for key, v in sorted(_MEMORY.items())},
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def clear_cache(memory_only: bool = True) -> None:
+    """Reset tuner state (test hook)."""
+    global _LOADED
+    _MEMORY.clear()
+    for k in _STATS:
+        _STATS[k] = 0
+    _LOADED = False
+    if not memory_only:
+        try:
+            os.unlink(cache_path())
+        except FileNotFoundError:
+            pass
+
+
+def autotune_cache_info() -> dict[str, int]:
+    """Hit/miss counters of the winner table (gauge feed)."""
+    return dict(_STATS, entries=len(_MEMORY))
+
+
+# ---------------------------------------------------------------------------
+# Lookup + measurement
+# ---------------------------------------------------------------------------
+
+
+def best_variant(code: "CauchyRSCode", size: int) -> Variant:
+    """The cached winner for this shape, or the default on a miss.
+
+    This sits on the per-call encode path (including inside pool
+    workers), so it is a dict lookup after a one-time lazy disk load.
+    """
+    if not _LOADED:
+        load_cache()
+    variant = _MEMORY.get(_key(code, size))
+    if variant is None:
+        _STATS["misses"] += 1
+        return DEFAULT_VARIANT
+    _STATS["hits"] += 1
+    return variant
+
+
+def store_variant(code: "CauchyRSCode", size: int, variant: Variant) -> None:
+    _MEMORY[_key(code, size)] = variant
+    _STATS["stores"] += 1
+
+
+def measure_variant(
+    code: "CauchyRSCode",
+    blocks: list[np.ndarray],
+    out_blocks: list[np.ndarray],
+    variant: Variant,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` seconds for one variant on real kernels."""
+    from repro.ec.cauchy import cached_schedule
+
+    ops = cached_schedule(code, variant.schedule_kind).compiled_ops()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        apply_schedule_blocks(
+            ops,
+            blocks,
+            out_blocks,
+            code.params.w,
+            variant.chunk_bytes,
+            variant.decompose_kind,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def autotune(
+    code: "CauchyRSCode",
+    size: int,
+    repeats: int = 3,
+    seed: int = 0,
+) -> tuple[Variant, dict[str, float]]:
+    """Measure every candidate variant at ``size`` and record the winner.
+
+    Returns the winning variant and a ``variant-label -> seconds``
+    timing table.  The winner goes into the in-memory table immediately;
+    call :func:`save_cache` to persist (the CLI does this after a full
+    ``--autotune`` sweep).
+    """
+    w = code.params.w
+    size = max(w, (size // w) * w)
+    rng = np.random.default_rng(seed)
+    blocks = [
+        rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.params.k)
+    ]
+    outs = [np.empty(size, dtype=np.uint8) for _ in range(code.params.m)]
+    timings: dict[str, float] = {}
+    best_v, best_t = DEFAULT_VARIANT, float("inf")
+    for variant in candidate_variants(w):
+        elapsed = measure_variant(code, blocks, outs, variant, repeats=repeats)
+        label = (
+            f"{variant.schedule_kind}/{variant.decompose_kind}"
+            f"/{variant.chunk_bytes // 1024}K"
+        )
+        timings[label] = elapsed
+        if elapsed < best_t:
+            best_v, best_t = variant, elapsed
+    store_variant(code, size, best_v)
+    return best_v, timings

@@ -222,7 +222,7 @@ class CauchyRSCode(ErasureCode):
     def encode_bitmatrix(
         self,
         data_blocks: list[np.ndarray],
-        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        chunk_bytes: int | None = None,
     ) -> list[np.ndarray]:
         """Encode with XOR operations only, via the parity bitmatrix.
 
@@ -251,18 +251,34 @@ class CauchyRSCode(ErasureCode):
         self,
         blocks: list[np.ndarray],
         out_blocks: list[np.ndarray],
-        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        chunk_bytes: int | None = None,
     ) -> None:
         """Encode ``blocks`` writing parity bytes directly into ``out_blocks``.
 
-        The zero-copy entry point used by the thread-pool encoder: callers
-        pass ``m`` preallocated uint8 arrays *or views* (e.g. sub-range
-        slices of full parity blocks) the same size as the data blocks.
-        Inputs must be contiguous uint8 arrays of equal size divisible by
-        ``w``; no validation copies are made here.
+        The zero-copy entry point used by the pool encoders: callers pass
+        ``m`` preallocated uint8 arrays *or views* (e.g. sub-range slices
+        of full parity blocks) the same size as the data blocks.  Inputs
+        must be contiguous uint8 arrays of equal size divisible by ``w``;
+        no validation copies are made here.
+
+        Schedule kind, decompose kernel and chunk blocking come from the
+        autotuner's winner table for this ``(k, m, w, size)`` (default
+        Paar/pack/64K on a cache miss); every variant is byte-identical,
+        so tuning only moves wall time.  An explicit ``chunk_bytes``
+        overrides the tuned blocking (benchmarks pin it for comparability).
         """
-        ops = cached_schedule(self, "paar").compiled_ops()
-        apply_schedule_blocks(ops, blocks, out_blocks, self.params.w, chunk_bytes)
+        from repro.ec.autotune import best_variant
+
+        variant = best_variant(self, blocks[0].nbytes)
+        ops = cached_schedule(self, variant.schedule_kind).compiled_ops()
+        apply_schedule_blocks(
+            ops,
+            blocks,
+            out_blocks,
+            self.params.w,
+            variant.chunk_bytes if chunk_bytes is None else chunk_bytes,
+            variant.decompose_kind,
+        )
 
     def encode_bitmatrix_reference(
         self, data_blocks: list[np.ndarray]

@@ -6,12 +6,29 @@ the GIL for large buffers, so even in CPython a pool gives real parallelism
 on multi-core hosts; on single-core hosts the chunking is still exercised
 (and is what the pipelined executor in :mod:`repro.core.pipeline` feeds on).
 
+Two pieces here are shared with the shared-memory process pool
+(:mod:`repro.ec.procpool`), forming the common dispatch interface every
+encoder backend implements:
+
+* :func:`split_ranges` — the word-aligned sub-range splitter (identical
+  stripe assignment means identical per-range kernel invocations, which
+  is what makes every backend byte-identical to the serial path);
+* :class:`EncodeStats` — the per-call accounting record, including which
+  execution ``mode`` the call actually took.
+
 :class:`ThreadPoolEncoder` produces byte-identical output to the serial
-encoder — tests assert this for every chunk count.
+encoder — tests assert this for every chunk count.  Because the GIL can
+make pooled encoding *slower* than single-shot (bit-plane decompose runs
+under the GIL; only the XOR stage reliably releases it), the encoder
+self-calibrates per payload-size bucket: the first call at a bucket runs
+single-shot, the second runs pooled, and later calls take whichever
+measured faster.  Either way the bytes are identical — the calibration
+only ever changes wall time.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -25,12 +42,44 @@ from repro.ec.kernels import range_alignment
 
 @dataclass
 class EncodeStats:
-    """Accounting for one thread-pool encode call."""
+    """Accounting for one encoder call (any backend)."""
 
     sub_tasks: int
     bytes_encoded: int
     threads: int
     fast_path: bool = False
+    #: Execution route actually taken: ``"pool"`` (fanned out to workers),
+    #: ``"single"`` (single-shot fallback), or ``"serial"`` (no fast path).
+    mode: str = "pool"
+    #: Which encoder backend produced this record.
+    backend: str = "thread"
+
+
+def split_ranges(
+    block_size: int, parts: int, min_subtask_bytes: int, w: int
+) -> list[tuple[int, int]]:
+    """Byte ranges covering ``block_size``, aligned to the kernel word.
+
+    Boundaries honour :func:`repro.ec.kernels.range_alignment` (8 bytes,
+    16 for w=16) so every sub-range — including the last, whenever the
+    block size itself is divisible by ``w`` — is a valid independent
+    input for the word-packed bitmatrix kernels.  Both pool encoders use
+    this splitter, so their per-range kernel calls (and therefore their
+    output bytes) are identical to each other and to the serial path.
+    """
+    word = range_alignment(w)
+    target = max(min_subtask_bytes, block_size // max(parts, 1))
+    target = max(word, (target // word) * word)
+    ranges = []
+    start = 0
+    while start < block_size:
+        end = min(block_size, start + target)
+        # Keep every sub-range word-aligned except possibly the last.
+        if end != block_size:
+            end = (end // word) * word
+        ranges.append((start, end))
+        start = end
+    return ranges
 
 
 class ThreadPoolEncoder:
@@ -42,6 +91,10 @@ class ThreadPoolEncoder:
             thread-pool technique targets on its EPYC hosts).
         min_subtask_bytes: sub-tasks smaller than this are merged, so tiny
             buffers don't pay pool overhead.
+        adaptive: self-calibrate pooled vs single-shot per payload-size
+            bucket and take the measured winner (see the module docstring).
+            ``False`` restores the always-pool behaviour, which the
+            benchmark uses to measure the pure pooled number.
     """
 
     def __init__(
@@ -49,35 +102,24 @@ class ThreadPoolEncoder:
         code: ErasureCode,
         threads: int = 4,
         min_subtask_bytes: int = 4096,
+        adaptive: bool = True,
     ):
         if threads < 1:
             raise CodeConfigError(f"threads must be >= 1, got {threads}")
         self.code = code
         self.threads = threads
         self.min_subtask_bytes = min_subtask_bytes
+        self.adaptive = adaptive
         self.last_stats: EncodeStats | None = None
+        #: size-bucket -> {"single": seconds, "pool": seconds} calibration
+        #: measurements; the winner is re-derived on every adaptive call.
+        self._calibration: dict[int, dict[str, float]] = {}
+        self._clock = time.perf_counter  # injectable for tests
 
     def _split_ranges(self, block_size: int) -> list[tuple[int, int]]:
-        """Byte ranges covering ``block_size``, aligned to the kernel word.
-
-        Boundaries honour :func:`repro.ec.kernels.range_alignment` (8 bytes,
-        16 for w=16) so every sub-range — including the last, whenever the
-        block size itself is divisible by ``w`` — is a valid independent
-        input for the word-packed bitmatrix kernels.
-        """
-        word = range_alignment(self.code.params.w)
-        target = max(self.min_subtask_bytes, block_size // self.threads)
-        target = max(word, (target // word) * word)
-        ranges = []
-        start = 0
-        while start < block_size:
-            end = min(block_size, start + target)
-            # Keep every sub-range word-aligned except possibly the last.
-            if end != block_size:
-                end = (end // word) * word
-            ranges.append((start, end))
-            start = end
-        return ranges
+        return split_ranges(
+            block_size, self.threads, self.min_subtask_bytes, self.code.params.w
+        )
 
     def _can_fast_path(self, size: int) -> bool:
         """True when the bitmatrix kernel path applies to this encode."""
@@ -87,6 +129,26 @@ class ThreadPoolEncoder:
             and size > 0
             and size % self.code.params.w == 0
         )
+
+    def _pick_mode(self, size: int, n_ranges: int) -> str:
+        """Choose pooled vs single-shot execution for this call.
+
+        Adaptive calibration: per power-of-two size bucket, measure
+        single-shot on the first call and pooled on the second; from then
+        on take the winner.  A pooled run whose per-thread gain is
+        negative (the GIL-serialisation failure mode this fixes) loses
+        the measurement and every later call at that size falls back.
+        """
+        if self.threads == 1 or n_ranges == 1:
+            return "single"
+        if not self.adaptive:
+            return "pool"
+        cal = self._calibration.setdefault(size.bit_length(), {})
+        if "single" not in cal:
+            return "single"
+        if "pool" not in cal:
+            return "pool"
+        return "single" if cal["single"] <= cal["pool"] else "pool"
 
     def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Parallel encode; returns ``m`` parity blocks, byte-identical to
@@ -109,6 +171,7 @@ class ThreadPoolEncoder:
         ranges = self._split_ranges(size)
         parity = [np.empty(size, dtype=np.uint8) for _ in range(self.code.params.m)]
         fast = self._can_fast_path(size)
+        mode = self._pick_mode(size, len(ranges)) if fast else "serial"
 
         if fast:
 
@@ -127,31 +190,48 @@ class ThreadPoolEncoder:
                 for out, piece in zip(parity, sub_parity):
                     out[start:end] = piece
 
+        sub_tasks = 1 if mode == "single" else len(ranges)
         tracer = obs.get_tracer()
         with tracer.span(
             "threadpool.encode",
             nbytes=size * len(blocks),
-            sub_tasks=len(ranges),
+            sub_tasks=sub_tasks,
             fast_path=fast,
+            mode=mode,
         ):
-            if self.threads == 1 or len(ranges) == 1:
-                for rng in ranges:
-                    encode_range(rng)
-            else:
+            started = self._clock()
+            if mode == "single":
+                # One kernel invocation over the whole block: identical
+                # bytes (the kernel is chunk-blocked internally) without
+                # the pool's per-range workspace setup.
+                self.code.encode_bitmatrix_into(blocks, parity)
+            elif mode == "pool":
                 with ThreadPoolExecutor(max_workers=self.threads) as pool:
                     list(pool.map(encode_range, ranges))
+            else:
+                for rng in ranges:
+                    encode_range(rng)
+            elapsed = self._clock() - started
+        if fast and self.adaptive and mode in ("single", "pool"):
+            cal = self._calibration.setdefault(size.bit_length(), {})
+            # Keep the best observation per mode: transient noise (a GC
+            # pause during calibration) must not pin a wrong winner.
+            cal[mode] = min(cal.get(mode, float("inf")), elapsed)
         self.last_stats = EncodeStats(
-            sub_tasks=len(ranges),
+            sub_tasks=sub_tasks,
             bytes_encoded=size * len(blocks),
             threads=self.threads,
             fast_path=fast,
+            mode=mode,
+            backend="thread",
         )
         if tracer.enabled:
             m = tracer.metrics
             m.counter("encoder.calls").inc()
             m.counter("encoder.bytes_encoded").inc(size * len(blocks))
-            m.counter("encoder.sub_tasks").inc(len(ranges))
+            m.counter("encoder.sub_tasks").inc(sub_tasks)
             m.counter(
                 "encoder.fast_path_calls" if fast else "encoder.slow_path_calls"
             ).inc()
+            m.counter(f"encoder.mode_{mode}_calls").inc()
         return parity

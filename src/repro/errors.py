@@ -25,6 +25,10 @@ class DecodeError(ReproError):
     """Not enough surviving chunks (or inconsistent chunks) to decode."""
 
 
+class EncodeError(ReproError):
+    """Encode execution failure (e.g. a crashed process-pool worker)."""
+
+
 class ShardingError(ReproError):
     """Parallelism specification cannot shard the given model/cluster."""
 

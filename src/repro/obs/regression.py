@@ -15,12 +15,21 @@ gate:
   relative spread, so a machine whose runs jitter by 10% does not
   page on a 10% "regression" — but a genuine 20% slowdown always does.
 
+* :func:`check_ratchet` adds the floor the rolling baseline cannot give:
+  the rolling median follows a slow drift downward, so five runs each 5%
+  slower than the last would never page.  The ratchet compares against
+  the *best* value ever recorded for the metric on this host — once a
+  run proves X MiB/s is achievable, any later run below
+  ``RATCHET_RATIO * X`` (0.9 by default) fails, and the win sticks.
+
 Entries are only compared against prior runs with the same context
 (payload size, quick flag, shape, repeats): a 4 MiB smoke run never
-baselines a 64 MiB measurement.
+baselines a 64 MiB measurement.  The ratchet additionally keys on the
+recorded hostname, because a best set on a 32-core bench host must not
+gate a laptop.
 
 ``repro bench-history`` drives all of this and exits non-zero on any
-regression, which is what CI's perf gate runs.
+regression or ratchet violation, which is what CI's perf gate runs.
 """
 
 from __future__ import annotations
@@ -35,13 +44,18 @@ from repro.obs.provenance import provenance_stamp
 
 HISTORY_SCHEMA = 1
 
-#: Metrics tracked per shape: the fast-path throughputs PR 1 optimised.
-TRACKED_PATHS = ("fast_encode", "pool_encode", "fast_decode")
+#: Metrics tracked per shape: the fast-path throughputs on the save and
+#: recovery critical paths (``fast_decode`` included — recovery is gated
+#: too), plus both pool backends.
+TRACKED_PATHS = ("fast_encode", "pool_encode", "proc_encode", "fast_decode")
 
 DEFAULT_THRESHOLD = 0.15
 DEFAULT_WINDOW = 5
 #: Noise bound multiplier: effective threshold >= this x baseline spread.
 NOISE_FACTOR = 2.0
+#: Ratchet floor: once a host records X MiB/s for a metric, later runs on
+#: that host must stay above ``RATCHET_RATIO * X``.
+RATCHET_RATIO = 0.9
 
 
 def _context_key(doc: Dict[str, Any], shape: Dict[str, Any]) -> str:
@@ -220,6 +234,125 @@ def check_regression(
                 )
             )
     return result
+
+
+@dataclass
+class RatchetDelta:
+    """One metric's newest value against its all-time host best."""
+
+    context: str
+    host: str
+    path: str
+    current: float
+    best: float
+    ratio: float
+
+    @property
+    def floor(self) -> float:
+        return self.ratio * self.best
+
+    @property
+    def regressed(self) -> bool:
+        return self.current < self.floor
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of the ratcheting-floor check."""
+
+    deltas: List[RatchetDelta] = field(default_factory=list)
+    fresh: List[str] = field(default_factory=list)  # no prior best on this host
+
+    @property
+    def violations(self) -> List[RatchetDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _entry_host(entry: Dict[str, Any]) -> Optional[str]:
+    host = (entry.get("provenance") or {}).get("hostname")
+    return str(host) if host else None
+
+
+def check_ratchet(
+    history: List[Dict[str, Any]],
+    ratio: float = RATCHET_RATIO,
+) -> RatchetResult:
+    """Gate the newest entry against the best value its host ever recorded.
+
+    Keyed by ``(context, hostname, path)``: the floor ratchets upward as
+    better numbers land, never downward, and never crosses machines.
+    Entries without a recorded hostname are skipped (nothing sensible to
+    compare against).  Metrics with no prior best pass as ``fresh`` —
+    their value becomes the floor for the next run.
+
+    Raises:
+        ReproError: for an empty history or a ratio outside (0, 1].
+    """
+    if not history:
+        raise ReproError("empty bench history; run `repro bench-encode` first")
+    if not 0.0 < ratio <= 1.0:
+        raise ReproError(f"ratchet ratio must be in (0, 1], got {ratio}")
+    current, prior = history[-1], history[:-1]
+
+    best: Dict[tuple, float] = {}
+    for entry in prior:
+        host = _entry_host(entry)
+        if host is None:
+            continue
+        for shape in entry.get("shapes", []):
+            for path, value in shape.get("throughput_mib_s", {}).items():
+                key = (shape["context"], host, path)
+                best[key] = max(best.get(key, 0.0), float(value))
+
+    result = RatchetResult()
+    host = _entry_host(current)
+    if host is None:
+        return result
+    for shape in current.get("shapes", []):
+        for path, value in shape.get("throughput_mib_s", {}).items():
+            key = (shape["context"], host, path)
+            if key not in best:
+                result.fresh.append(f"{shape['context']}/{path}")
+                continue
+            result.deltas.append(
+                RatchetDelta(
+                    context=shape["context"],
+                    host=host,
+                    path=path,
+                    current=float(value),
+                    best=best[key],
+                    ratio=ratio,
+                )
+            )
+    return result
+
+
+def render_ratchet(result: RatchetResult) -> str:
+    """ASCII floor table for ``repro bench-history``."""
+    lines = [
+        f"{'context':<52} {'path':<12} {'MiB/s':>10} {'best':>10} "
+        f"{'floor':>10} {'gate':>7}"
+    ]
+    for d in sorted(result.deltas, key=lambda d: (d.context, d.path)):
+        verdict = "RATCHET" if d.regressed else "ok"
+        lines.append(
+            f"{d.context:<52} {d.path:<12} {d.current:>10.1f} "
+            f"{d.best:>10.1f} {d.floor:>10.1f} {verdict:>7}"
+        )
+    for name in result.fresh:
+        lines.append(f"{name}: first run on this host, floor recorded")
+    if result.violations:
+        lines.append(
+            f"{len(result.violations)} ratchet violation(s): throughput fell "
+            f"below {result.deltas[0].ratio:.0%} of this host's best"
+        )
+    elif result.deltas:
+        lines.append("ratchet floors hold")
+    return "\n".join(lines)
 
 
 def render_result(result: RegressionResult) -> str:

@@ -54,11 +54,13 @@ def build_traced_job(
 
 
 def _snapshot_cache_gauges(tracer, engine) -> None:
-    """Surface the PR-1 compile/decode cache counters as gauges."""
-    from repro.ec import schedule_cache_info
+    """Surface the compile/decode/autotune cache counters as gauges."""
+    from repro.ec import autotune_cache_info, schedule_cache_info
 
     for key, value in schedule_cache_info().items():
         tracer.metrics.gauge(f"cache.{key}").set(float(value))
+    for key, value in autotune_cache_info().items():
+        tracer.metrics.gauge(f"cache.autotune_{key}").set(float(value))
     code = getattr(engine, "code", None)
     if code is not None and hasattr(code, "decode_cache_info"):
         for key, value in code.decode_cache_info().items():

@@ -150,6 +150,12 @@ class NullTracer:
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return NULL_SPAN
 
+    def record_span(self, name: str, **kwargs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def rel_time(self, perf_counter_s: float) -> float:
+        return 0.0
+
     def event(self, name: str, **fields: Any) -> None:
         pass
 
@@ -222,6 +228,53 @@ class Tracer:
         with self._lock:
             span_id = next(self._ids)
         return Span(self, name, span_id, parent_id, attrs)
+
+    def rel_time(self, perf_counter_s: float) -> float:
+        """Map a raw ``time.perf_counter()`` reading onto this tracer's
+        timeline.
+
+        ``perf_counter`` is ``CLOCK_MONOTONIC`` system-wide on Linux, so
+        readings taken in *other processes* (process-pool workers) live on
+        the same clock as the parent and translate by subtracting the
+        epoch — this is what lets worker spans reconcile exactly with the
+        coordinating span that contains them.
+        """
+        return perf_counter_s - self._epoch
+
+    def record_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        start_s: float = 0.0,
+        wall_s: float = 0.0,
+        thread: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-completed span from externally measured times.
+
+        The cross-process counterpart of ``span(parent=...)``: pool
+        workers cannot open spans on this tracer (it lives in the parent),
+        so they report ``perf_counter`` timestamps back and the parent
+        records the span on their behalf.  ``start_s`` is tracer-relative
+        (use :meth:`rel_time`).  The recorded interval is clamped into the
+        parent's bounds so trace validation's containment invariant holds
+        even under clock jitter at the boundaries.
+        """
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        if isinstance(parent, Span) and parent.wall_s is not None:
+            p_start, p_end = parent.start_s, parent.start_s + parent.wall_s
+            start_s = min(max(start_s, p_start), p_end)
+            wall_s = max(0.0, min(wall_s, p_end - start_s))
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(self, name, span_id, parent_id, attrs)
+        span.start_s = start_s
+        span.wall_s = wall_s
+        if thread is not None:
+            span.thread = thread
+        with self._lock:
+            self.spans.append(span)
+        return span
 
     def event(self, name: str, **fields: Any) -> None:
         record = {

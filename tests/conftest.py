@@ -13,6 +13,7 @@ own ``max_examples`` via an explicit ``@settings`` keep their pinned value.
 
 import os
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 _COMMON = dict(
@@ -25,3 +26,19 @@ settings.register_profile("ci", max_examples=60, **_COMMON)
 settings.register_profile("thorough", max_examples=400, **_COMMON)
 
 settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shared_memory():
+    """Fail the run if any encoder leaked a /dev/shm segment.
+
+    Every segment the process-pool encoder creates carries the
+    ``repro-ec`` prefix, so one sweep at session teardown proves the
+    whole suite — including crash and reconfigure paths — released its
+    shared memory.
+    """
+    yield
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return
+    leaked = sorted(n for n in os.listdir("/dev/shm") if "repro-ec" in n)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"

@@ -1,0 +1,182 @@
+"""Schedule/kernel autotuner: candidate space, winner selection, the disk
+cache round-trip with environment invalidation, and — the property the
+whole design rests on — byte identity across every tunable variant."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ec import autotune
+from repro.ec.autotune import (
+    DEFAULT_VARIANT,
+    Variant,
+    autotune_cache_info,
+    best_variant,
+    candidate_variants,
+    load_cache,
+    save_cache,
+    store_variant,
+)
+from repro.ec.base import CodeParams
+from repro.ec.cauchy import CauchyRSCode
+from repro.ec.kernels import DEFAULT_CHUNK_BYTES
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets an empty tuner state and a private cache file."""
+    monkeypatch.setenv(autotune.CACHE_ENV, str(tmp_path / "autotune.json"))
+    autotune.clear_cache()
+    yield
+    autotune.clear_cache()
+
+
+def _code(k=4, m=2, w=8):
+    return CauchyRSCode(CodeParams(k=k, m=m, w=w))
+
+
+def _blocks(code, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 256, size=size, dtype=np.uint8)
+        for _ in range(code.params.k)
+    ]
+
+
+class TestCandidates:
+    def test_full_byte_words_get_the_swar_variant(self):
+        kinds = {v.decompose_kind for v in candidate_variants(8)}
+        assert kinds == {"pack", "swar"}
+        assert {v.decompose_kind for v in candidate_variants(16)} == {"pack", "swar"}
+
+    def test_sub_byte_words_are_pack_only(self):
+        for w in (1, 2, 4):
+            assert {v.decompose_kind for v in candidate_variants(w)} == {"pack"}
+
+    def test_every_schedule_kind_is_covered(self):
+        assert {v.schedule_kind for v in candidate_variants(8)} == {
+            "paar",
+            "smart",
+            "dumb",
+        }
+
+
+class TestLookup:
+    def test_miss_returns_default(self):
+        assert best_variant(_code(), 4096) == DEFAULT_VARIANT
+        assert autotune_cache_info()["misses"] == 1
+
+    def test_stored_winner_is_returned(self):
+        code = _code()
+        winner = Variant("smart", "swar", DEFAULT_CHUNK_BYTES * 4)
+        store_variant(code, 4096, winner)
+        assert best_variant(code, 4096) == winner
+        assert autotune_cache_info()["hits"] == 1
+
+    def test_size_buckets_share_winners_within_2x(self):
+        code = _code()
+        winner = Variant("dumb", "pack", DEFAULT_CHUNK_BYTES)
+        store_variant(code, 5000, winner)
+        # 5000 and 7000 share the 2^13 bucket; 20000 does not.
+        assert best_variant(code, 7000) == winner
+        assert best_variant(code, 20000) == DEFAULT_VARIANT
+
+    def test_shapes_do_not_share_winners(self):
+        winner = Variant("dumb", "pack", DEFAULT_CHUNK_BYTES)
+        store_variant(_code(k=4, m=2), 4096, winner)
+        assert best_variant(_code(k=6, m=2), 4096) == DEFAULT_VARIANT
+
+
+class TestDiskCache:
+    def test_save_load_round_trip(self):
+        code = _code()
+        winner = Variant("smart", "swar", DEFAULT_CHUNK_BYTES * 4)
+        store_variant(code, 8192, winner)
+        path = save_cache()
+        autotune.clear_cache()
+        assert load_cache(path) == 1
+        assert best_variant(code, 8192) == winner
+
+    def test_lazy_warm_start_on_first_lookup(self):
+        code = _code()
+        store_variant(code, 8192, Variant("dumb", "pack", DEFAULT_CHUNK_BYTES))
+        save_cache()
+        autotune.clear_cache()
+        # No explicit load: best_variant warm-starts from disk by itself.
+        assert best_variant(code, 8192).schedule_kind == "dumb"
+
+    def test_environment_mismatch_invalidates(self, tmp_path):
+        code = _code()
+        store_variant(code, 8192, Variant("dumb", "pack", DEFAULT_CHUNK_BYTES))
+        path = save_cache()
+        payload = json.loads(open(path).read())
+        payload["environment"]["numpy"] = "0.0.1"
+        open(path, "w").write(json.dumps(payload))
+        autotune.clear_cache()
+        assert load_cache(path) == 0
+        assert autotune_cache_info()["stale_entries"] == 1
+        assert best_variant(code, 8192) == DEFAULT_VARIANT
+
+    def test_version_bump_invalidates(self):
+        store_variant(_code(), 8192, Variant("dumb", "pack", DEFAULT_CHUNK_BYTES))
+        path = save_cache()
+        payload = json.loads(open(path).read())
+        payload["version"] = autotune.CACHE_VERSION + 1
+        open(path, "w").write(json.dumps(payload))
+        autotune.clear_cache()
+        assert load_cache(path) == 0
+
+    def test_corrupt_or_missing_cache_is_ignored(self, tmp_path):
+        assert load_cache(str(tmp_path / "absent.json")) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_cache(str(bad)) == 0
+
+    def test_garbage_entries_are_dropped(self):
+        path = save_cache()  # writes a valid empty cache
+        payload = json.loads(open(path).read())
+        payload["entries"] = {
+            "k=4,m=2,w=8,good=0,bucket=13": {
+                "schedule_kind": "evil",
+                "decompose_kind": "pack",
+                "chunk_bytes": DEFAULT_CHUNK_BYTES,
+            }
+        }
+        open(path, "w").write(json.dumps(payload))
+        autotune.clear_cache()
+        assert load_cache(path) == 0
+        assert autotune_cache_info()["stale_entries"] == 1
+
+
+class TestAutotune:
+    def test_measures_and_stores_a_winner(self):
+        code = _code(k=3, m=2)
+        winner, timings = autotune.autotune(code, 32 * 1024, repeats=1)
+        assert winner in candidate_variants(8)
+        assert len(timings) == len(candidate_variants(8))
+        assert all(t > 0 for t in timings.values())
+        assert best_variant(code, 32 * 1024) == winner
+
+    def test_every_variant_is_byte_identical(self):
+        """The safety property: tuning can only ever change wall time."""
+        code = _code(k=3, m=2)
+        size = 24 * 1024
+        blocks = _blocks(code, size, seed=7)
+        want = code.encode(blocks)
+        for variant in candidate_variants(8):
+            store_variant(code, size, variant)
+            got = code.encode_bitmatrix(blocks)
+            for a, b in zip(got, want):
+                assert np.array_equal(a, b), f"variant {variant} diverged"
+
+    def test_w16_variants_are_byte_identical(self):
+        code = _code(k=3, m=2, w=16)
+        size = 16 * 1024
+        blocks = _blocks(code, size, seed=8)
+        want = code.encode(blocks)
+        for variant in candidate_variants(16):
+            store_variant(code, size, variant)
+            got = code.encode_bitmatrix(blocks)
+            for a, b in zip(got, want):
+                assert np.array_equal(a, b), f"variant {variant} diverged"

@@ -114,3 +114,75 @@ def test_threadpool_encoder_validates_input():
         enc.encode([np.zeros(8, dtype=np.uint8), np.zeros(4, dtype=np.uint8)])
     with pytest.raises(CodeConfigError):
         ThreadPoolEncoder(code, threads=0)
+
+
+# ----------------------------------------------------------------------
+# Adaptive single-shot fallback: the fix for pooled encodes losing to
+# single-shot when the GIL serialises the workers.
+# ----------------------------------------------------------------------
+
+
+def _adaptive_encoder(**kwargs):
+    code = CauchyRSCode(CodeParams(k=3, m=2, w=8))
+    enc = ThreadPoolEncoder(code, threads=4, min_subtask_bytes=1024, **kwargs)
+    rng = np.random.default_rng(0)
+    blocks = [rng.integers(0, 256, size=65536, dtype=np.uint8) for _ in range(3)]
+    return code, enc, blocks
+
+
+def test_adaptive_calibrates_then_picks_the_winner():
+    code, enc, blocks = _adaptive_encoder()
+    # Deterministic clock: single-shot "measures" fast, pooled slow.
+    ticks = iter([0.0, 1.0, 10.0, 30.0] + [float(i) for i in range(100, 300)])
+    enc._clock = lambda: next(ticks)
+    want = code.encode(blocks)
+
+    enc.encode(blocks)
+    assert enc.last_stats.mode == "single"  # first call calibrates single
+    enc.encode(blocks)
+    assert enc.last_stats.mode == "pool"  # second call calibrates pooled
+    parity = enc.encode(blocks)
+    # single took 1s, pooled took 20s: every later call falls back.
+    assert enc.last_stats.mode == "single"
+    assert enc.last_stats.sub_tasks == 1
+    for a, b in zip(parity, want):
+        assert np.array_equal(a, b)
+
+
+def test_adaptive_prefers_pool_when_it_wins():
+    _, enc, blocks = _adaptive_encoder()
+    ticks = iter([0.0, 20.0, 100.0, 101.0] + [float(i) for i in range(200, 400)])
+    enc._clock = lambda: next(ticks)
+    enc.encode(blocks)
+    enc.encode(blocks)
+    enc.encode(blocks)
+    assert enc.last_stats.mode == "pool"
+    assert enc.last_stats.sub_tasks > 1
+
+
+def test_adaptive_calibration_is_per_size_bucket():
+    code, enc, blocks = _adaptive_encoder()
+    enc.encode(blocks)
+    assert enc.last_stats.mode == "single"
+    # A very different payload size starts its own calibration.
+    rng = np.random.default_rng(1)
+    small = [rng.integers(0, 256, size=8192, dtype=np.uint8) for _ in range(3)]
+    enc.encode(small)
+    assert enc.last_stats.mode == "single"  # fresh bucket: calibrating again
+
+
+def test_non_adaptive_always_pools():
+    code, enc, blocks = _adaptive_encoder(adaptive=False)
+    for _ in range(3):
+        enc.encode(blocks)
+        assert enc.last_stats.mode == "pool"
+        assert enc.last_stats.backend == "thread"
+
+
+def test_single_thread_never_pools():
+    code = CauchyRSCode(CodeParams(k=2, m=1, w=8))
+    enc = ThreadPoolEncoder(code, threads=1, min_subtask_bytes=64)
+    blocks = [np.ones(4096, dtype=np.uint8)] * 2
+    parity = enc.encode(blocks)
+    assert enc.last_stats.mode == "single"
+    assert np.array_equal(parity[0], code.encode(blocks)[0])

@@ -11,16 +11,18 @@ from repro.errors import ReproError
 from repro.obs.regression import (
     TRACKED_PATHS,
     append_history,
+    check_ratchet,
     check_regression,
     history_entry,
     load_history,
+    render_ratchet,
     render_result,
 )
 
 
-def bench_doc(fast=1000.0, pool=1800.0, decode=900.0, payload=4.0):
+def bench_doc(fast=1000.0, pool=1800.0, decode=900.0, payload=4.0, host=None):
     """A synthetic encode-throughput results document."""
-    return {
+    doc = {
         "benchmark": "encode_throughput",
         "payload_mib": payload,
         "repeats": 2,
@@ -33,12 +35,16 @@ def bench_doc(fast=1000.0, pool=1800.0, decode=900.0, payload=4.0):
                 "throughput_mib_s": {
                     "fast_encode": fast,
                     "pool_encode": pool,
+                    "proc_encode": 2.2 * pool,
                     "fast_decode": decode,
                     "reference_encode": 150.0,  # untracked, must be dropped
                 },
             }
         ],
     }
+    if host is not None:
+        doc["provenance"] = {"hostname": host, "git_sha": "0" * 40}
+    return doc
 
 
 class TestHistoryEntry:
@@ -235,3 +241,111 @@ class TestBenchHistoryCli:
             "0.05",
         )
         assert code == 1
+
+
+class TestCheckRatchet:
+    def test_drop_below_floor_is_flagged(self):
+        result = check_ratchet(_history(1000.0, 1003.0, 880.0))
+        assert not result.ok
+        (violation,) = [d for d in result.violations if d.path == "fast_encode"]
+        assert violation.best == pytest.approx(1003.0)
+        assert violation.floor == pytest.approx(902.7)
+
+    def test_slow_drift_passes_rolling_but_not_ratchet(self):
+        # Each run ~5% slower than the last: the rolling median follows
+        # the drift down and never pages — the ratchet is why it can't.
+        drifting = _history(1000.0, 950.0, 900.0, 860.0, 810.0)
+        assert check_regression(drifting).ok
+        assert not check_ratchet(drifting).ok
+
+    def test_improvement_raises_the_floor(self):
+        assert check_ratchet(_history(1000.0, 1500.0, 1400.0)).ok
+        assert not check_ratchet(_history(1000.0, 1500.0, 1340.0)).ok
+
+    def test_first_run_is_fresh(self):
+        result = check_ratchet(_history(1000.0))
+        assert result.ok
+        assert not result.deltas
+        assert len(result.fresh) == len(TRACKED_PATHS)
+
+    def test_hosts_never_share_a_floor(self):
+        history = [
+            history_entry(bench_doc(fast=5000.0, host="bench-beast")),
+            history_entry(bench_doc(fast=1000.0, host="laptop")),
+        ]
+        result = check_ratchet(history)
+        assert result.ok
+        assert not result.deltas  # different host => fresh floor
+        # ...but the same host is gated against its own best.
+        history.append(history_entry(bench_doc(fast=850.0, host="laptop")))
+        assert not check_ratchet(history).ok
+
+    def test_entries_without_hostname_are_skipped(self):
+        anon = bench_doc(fast=1000.0)
+        anon["provenance"] = {"git_sha": "0" * 40}  # no hostname
+        history = [history_entry(anon), history_entry(anon)]
+        result = check_ratchet(history)
+        assert result.ok
+        assert not result.deltas and not result.fresh
+
+    def test_bad_ratio_raises(self):
+        with pytest.raises(ReproError):
+            check_ratchet(_history(1.0, 2.0), ratio=1.5)
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ReproError):
+            check_ratchet([])
+
+    def test_render_mentions_violations(self):
+        text = render_ratchet(check_ratchet(_history(1000.0, 1000.0, 800.0)))
+        assert "RATCHET" in text
+        assert "ratchet violation(s)" in text
+        ok_text = render_ratchet(check_ratchet(_history(1000.0, 1000.0)))
+        assert "ratchet floors hold" in ok_text
+
+
+class TestRatchetCli:
+    def run(self, *argv):
+        out = io.StringIO()
+        code = cli_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def _record(self, tmp_path, doc, *extra):
+        input_path = tmp_path / "bench.json"
+        input_path.write_text(json.dumps(doc))
+        return self.run(
+            "bench-history",
+            "--input",
+            str(input_path),
+            "--history",
+            str(tmp_path / "hist.jsonl"),
+            *extra,
+        )
+
+    def test_within_noise_but_below_floor_exits_nonzero(self, tmp_path):
+        assert self._record(tmp_path, bench_doc(fast=1000.0))[0] == 0
+        # 12% down: inside the 15% rolling threshold, below the 90% floor.
+        code, output = self._record(tmp_path, bench_doc(fast=880.0))
+        assert code == 1
+        assert "RATCHET" in output
+
+    def test_no_ratchet_flag_skips_the_floor(self, tmp_path):
+        assert self._record(tmp_path, bench_doc(fast=1000.0))[0] == 0
+        code, output = self._record(
+            tmp_path, bench_doc(fast=880.0), "--no-ratchet"
+        )
+        assert code == 0
+        assert "RATCHET" not in output
+
+    def test_ratchet_ratio_flag_loosens_the_floor(self, tmp_path):
+        assert self._record(tmp_path, bench_doc(fast=1000.0))[0] == 0
+        code, _ = self._record(
+            tmp_path, bench_doc(fast=880.0), "--ratchet-ratio", "0.8"
+        )
+        assert code == 0
+
+    def test_fast_decode_is_gated_too(self, tmp_path):
+        assert self._record(tmp_path, bench_doc(decode=900.0))[0] == 0
+        code, output = self._record(tmp_path, bench_doc(decode=790.0))
+        assert code == 1
+        assert "fast_decode" in output
