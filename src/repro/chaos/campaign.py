@@ -176,11 +176,13 @@ class CampaignReport:
             f"{len(self.cycles)} recovery cycles, "
             f"{len(self.violations)} violations",
             f"{'crash point / failures / corruption':<42s} "
-            f"{'memory':>7s} {'backup':>7s} {'refused':>8s} {'error':>6s}",
+            f"{'memory':>7s} {'disk':>5s} {'backup':>7s} "
+            f"{'refused':>8s} {'error':>6s}",
         ]
         for key, row in self.outcome_matrix().items():
             lines.append(
                 f"{key:<42s} {row.get('memory', 0):>7d} "
+                f"{row.get('disk', 0):>5d} "
                 f"{row.get('backup', 0):>7d} {row.get('refused', 0):>8d} "
                 f"{row.get('engine_error', 0):>6d}"
             )
@@ -393,7 +395,8 @@ def _run_episode_impl(
             )
             break
 
-        outcome = "backup" if report.bytes_from_remote > 0 else "memory"
+        tier = getattr(report, "tier", "memory")
+        outcome = "backup" if tier == "remote" else tier
         cycle["outcome"] = outcome
         cycle["version"] = report.version
         result.cycles.append(cycle)

@@ -24,60 +24,120 @@ from repro.tensors.state_dict import state_dicts_equal
 # ----------------------------------------------------------------------
 # Pre-restore oracles: which version *should* a correct engine restore?
 # ----------------------------------------------------------------------
+def _store_chunk_whole(
+    store, engine, node: int, version: int, kind: str, idx: int, groups: int
+) -> bool:
+    """Every reduction-group packet of a chunk present in ``store`` on
+    ``node`` and passing its CRC."""
+    for r in range(groups):
+        key = engine.chunk_key(version, kind, idx, r)
+        digest_key = engine.digest_key(version, kind, idx, r)
+        if not (store.contains(node, key) and store.contains(node, digest_key)):
+            return False
+        if not verify_chunk(store.get(node, key), store.get(node, digest_key)):
+            return False
+    return True
+
+
+def _eccheck_memory_qualifies(
+    engine, version: int, survivors: list[int]
+) -> bool:
+    """>= k chunks whole on survivors, metadata reachable — the commit
+    rule, judged against the placement *this* version was written under
+    (elastic regroups mean adjacent versions can differ)."""
+    plan = engine.placement_of(version)
+    groups = len(plan.data_group[0])
+    whole = 0
+    for j, node in enumerate(plan.data_nodes):
+        if node in survivors and _store_chunk_whole(
+            engine.host, engine, node, version, "data", j, groups
+        ):
+            whole += 1
+    for i, node in enumerate(plan.parity_nodes):
+        if node in survivors and _store_chunk_whole(
+            engine.host, engine, node, version, "parity", i, groups
+        ):
+            whole += 1
+    if whole < plan.k:
+        return False
+    return all(
+        any(
+            engine.host.contains(node, ("meta", version, worker))
+            for node in survivors
+        )
+        for worker in range(engine.job.world_size)
+    )
+
+
+def _eccheck_disk_qualifies(engine, version: int) -> bool:
+    """Whole version restorable from the local-disk tier: every chunk of
+    the version's plan verifies on its node's disk and every worker's
+    metadata survives on some disk.  Disks survive node failures, so
+    ``failed_nodes`` plays no role here."""
+    plan = engine.placement_of(version)
+    groups = len(plan.data_group[0])
+    for j, node in enumerate(plan.data_nodes):
+        if not _store_chunk_whole(
+            engine.disk, engine, node, version, "data", j, groups
+        ):
+            return False
+    for i, node in enumerate(plan.parity_nodes):
+        if not _store_chunk_whole(
+            engine.disk, engine, node, version, "parity", i, groups
+        ):
+            return False
+    all_nodes = range(engine.job.cluster.num_nodes)
+    return all(
+        any(
+            engine.disk.contains(node, ("meta", version, worker))
+            for node in all_nodes
+        )
+        for worker in range(engine.job.world_size)
+    )
+
+
 def eccheck_memory_version(engine, failed_nodes: set[int]) -> int | None:
     """Newest in-memory version a correct ECCheck restore must accept.
 
     A version qualifies when >= k chunks are whole on surviving nodes
     (every reduction-group packet present and passing its CRC) and every
     worker's metadata record is reachable on some survivor — the commit
-    rule.  Returns ``None`` when only the remote backup (or nothing) can
-    help.
+    rule.  Returns ``None`` when only the disk tier, the remote backup
+    (or nothing) can help.
     """
     survivors = [
         n for n in range(engine.job.cluster.num_nodes) if n not in failed_nodes
     ]
     if not survivors:
         return None
-
-    def chunk_whole(
-        node: int, version: int, kind: str, idx: int, groups: int
-    ) -> bool:
-        for r in range(groups):
-            key = engine.chunk_key(version, kind, idx, r)
-            digest_key = engine.digest_key(version, kind, idx, r)
-            if not (
-                engine.host.contains(node, key)
-                and engine.host.contains(node, digest_key)
-            ):
-                return False
-            if not verify_chunk(
-                engine.host.get(node, key), engine.host.get(node, digest_key)
-            ):
-                return False
-        return True
-
     for version in range(engine.version, 0, -1):
-        # Elastic regroups mean each version may have been written under
-        # a different (k, m) layout — judge it against its own plan.
-        plan = engine.placement_of(version)
-        groups = len(plan.data_group[0])
-        whole = 0
-        for j, node in enumerate(plan.data_nodes):
-            if node in survivors and chunk_whole(node, version, "data", j, groups):
-                whole += 1
-        for i, node in enumerate(plan.parity_nodes):
-            if node in survivors and chunk_whole(node, version, "parity", i, groups):
-                whole += 1
-        if whole < plan.k:
-            continue
-        if all(
-            any(
-                engine.host.contains(node, ("meta", version, worker))
-                for node in survivors
-            )
-            for worker in range(engine.job.world_size)
-        ):
+        if _eccheck_memory_qualifies(engine, version, survivors):
             return version
+    return None
+
+
+def eccheck_disk_version(engine) -> int | None:
+    """Newest version fully restorable from the local-disk tier."""
+    for version in range(engine.version, 0, -1):
+        if _eccheck_disk_qualifies(engine, version):
+            return version
+    return None
+
+
+def eccheck_tier_version(
+    engine, failed_nodes: set[int]
+) -> tuple[str, int] | None:
+    """(tier, version) of the newest version restorable from memory or
+    disk — the combined newest-first walk a correct tiered restore does.
+    Memory is preferred at equal version (no promotion cost)."""
+    survivors = [
+        n for n in range(engine.job.cluster.num_nodes) if n not in failed_nodes
+    ]
+    for version in range(engine.version, 0, -1):
+        if survivors and _eccheck_memory_qualifies(engine, version, survivors):
+            return "memory", version
+        if _eccheck_disk_qualifies(engine, version):
+            return "disk", version
     return None
 
 
@@ -131,15 +191,18 @@ def replication_memory_version(engine, failed_nodes: set[int]) -> int | None:
 def expected_outcome(engine, failed_nodes: set[int]) -> tuple[str, int | None]:
     """(outcome, version) a correct engine must produce for this failure.
 
-    Outcome is ``"memory"``, ``"backup"`` or ``"refused"``; the version is
-    the exact checkpoint version the restore must land on (None when
-    refusing is correct).
+    Outcome is ``"memory"``, ``"disk"``, ``"backup"`` or ``"refused"``;
+    the version is the exact checkpoint version the restore must land on
+    (None when refusing is correct).  The tier hierarchy walks newest
+    version first across memory and disk (a version lost from memory but
+    demoted to disk recovers from disk), with the remote backup as the
+    catastrophic fallback.
     """
     name = engine.name
     if name == "eccheck":
-        version = eccheck_memory_version(engine, failed_nodes)
-        if version is not None:
-            return "memory", version
+        tiered = eccheck_tier_version(engine, failed_nodes)
+        if tiered is not None:
+            return tiered
         backup = remote_complete_version(engine)
         if backup is not None:
             return "backup", backup

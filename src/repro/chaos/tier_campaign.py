@@ -1,0 +1,537 @@
+"""Tier-loss chaos campaign: seeded memory-wipe / disk-loss episodes.
+
+The base campaign (:mod:`repro.chaos.campaign`) samples node failures
+against engines whose only durable fallback is remote storage.  This
+campaign targets the *tier stack*: an ECCheck engine runs under a
+:class:`~repro.checkpoint.tiering.TierPolicy` so cold versions demote to
+the local-disk tier, then episodes lose whole tiers:
+
+* ``memory_tier_loss`` — every node power-cycles at once.  All host
+  memory is gone; a correct engine recovers bit-exact from the disk tier
+  (the headline invariant this campaign exists to check).
+* ``partial`` — a strict subset of nodes fails; memory recovery should
+  still win when enough chunks survive.
+* ``disk_rot`` — a stored disk chunk packet silently rots, then the
+  memory tier is lost; the digest walk must skip the torn disk version.
+* ``disk_replacement`` — one machine is swapped (its disk arrives
+  empty), then the memory tier is lost; versions that straddled the
+  replaced disk are unrecoverable from disk.
+* ``none`` — a pure process restart with no tier loss.
+
+Every cycle is judged by the independent
+:func:`~repro.chaos.invariants.expected_outcome` oracle (which re-derives
+memory- and disk-tier recoverability from raw store contents), restored
+states must be bit-identical to the committed bytes, and the byte-flow
+ledger must balance: demoted bytes equal the demote reports' sum, disk
+restores read back what promotion copied.  With ``trace`` enabled the
+whole episode runs under a collecting tracer and per-tier phase totals
+are reconciled against the demotion/recovery report breakdowns at 1e-9
+relative tolerance.
+
+Determinism matches the base campaign: every draw flows from
+``default_rng([seed, episode])``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.errors import RecoveryError
+from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
+from repro.chaos.invariants import (
+    check_redundancy,
+    check_restored_states,
+    expected_outcome,
+)
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.tiering import TierPolicy
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.core.integrity import corrupt_buffer
+from repro.obs.trace_io import crosscheck_totals, phase_totals
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+
+P_CRASH = 0.4
+
+SCENARIOS = (
+    "none",
+    "partial",
+    "memory_tier_loss",
+    "disk_rot",
+    "disk_replacement",
+)
+SCENARIO_WEIGHTS = (0.10, 0.20, 0.40, 0.15, 0.15)
+
+#: Reconciliation tolerance for traced-vs-reported phase totals.
+REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class TierChaosConfig:
+    """Campaign parameters (defaults = the CI tier-smoke shape)."""
+
+    episodes: int = 20
+    seed: int = 0
+    max_rounds: int = 3
+    model: str = "gpt2-h1024-L16"
+    scale: float = 5e-4
+    #: Disk-tier retention depth handed to the :class:`TierPolicy`.
+    disk_versions: int = 8
+    #: Run each episode under a collecting tracer, reconcile per-tier
+    #: phase totals against report breakdowns at :data:`REL_TOL`, and
+    #: attach a trace summary to the episode.
+    trace: bool = False
+
+
+@dataclass
+class TierEpisodeResult:
+    """One episode's recovery cycles and any invariant violations."""
+
+    episode: int
+    cycles: list[dict] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    #: Tier-stack accounting for the episode: demotions, evictions,
+    #: bytes to/from each tier.
+    tier_flow: dict = field(default_factory=dict)
+    #: Present only when the campaign ran with ``TierChaosConfig.trace``.
+    trace_summary: dict | None = None
+
+
+@dataclass
+class TierCampaignReport:
+    """All episode results plus tier-level aggregates."""
+
+    config: TierChaosConfig
+    episodes: list[TierEpisodeResult]
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"episode {e.episode}: {v}"
+            for e in self.episodes
+            for v in e.violations
+        ]
+
+    @property
+    def cycles(self) -> list[dict]:
+        return [c for e in self.episodes for c in e.cycles]
+
+    def outcome_matrix(self) -> dict[str, dict[str, int]]:
+        """``"scenario/crash" -> {outcome: count}``."""
+        matrix: dict[str, dict[str, int]] = {}
+        for cycle in self.cycles:
+            key = (
+                f"{cycle['scenario']}"
+                f"/{cycle['crash_point'] or '-'}"
+            )
+            row = matrix.setdefault(key, {})
+            row[cycle["outcome"]] = row.get(cycle["outcome"], 0) + 1
+        return {key: matrix[key] for key in sorted(matrix)}
+
+    def recovery_time_by_tier(self) -> dict[str, dict[str, float]]:
+        """Per-tier recovery-time statistics — the tier/latency curve.
+
+        Memory restores should be fastest, disk pays the promotion read,
+        remote pays the thin shared pipe; this table is the campaign's
+        empirical check of that ordering.
+        """
+        samples: dict[str, list[float]] = {}
+        for cycle in self.cycles:
+            tier = cycle.get("tier")
+            if tier is None or "recovery_s" not in cycle:
+                continue
+            samples.setdefault(tier, []).append(cycle["recovery_s"])
+        return {
+            tier: {
+                "count": len(values),
+                "mean_s": sum(values) / len(values),
+                "max_s": max(values),
+                "min_s": min(values),
+            }
+            for tier, values in sorted(samples.items())
+        }
+
+    def byte_flow(self) -> dict[str, int]:
+        """Campaign-wide per-tier byte flow (the ledger, summed)."""
+        totals = {
+            "bytes_to_disk": 0,
+            "bytes_from_disk": 0,
+            "bytes_from_remote": 0,
+            "disk_bytes_evicted": 0,
+        }
+        for episode in self.episodes:
+            for key in totals:
+                totals[key] += episode.tier_flow.get(key, 0)
+        return totals
+
+    def to_dict(self) -> dict:
+        """Plain-data form; provenance-free so identical campaigns
+        compare equal (see :meth:`to_json`)."""
+        return {
+            "config": {
+                "episodes": self.config.episodes,
+                "seed": self.config.seed,
+                "max_rounds": self.config.max_rounds,
+                "model": self.config.model,
+                "scale": self.config.scale,
+                "disk_versions": self.config.disk_versions,
+                "trace": self.config.trace,
+            },
+            "total_recovery_cycles": len(self.cycles),
+            "outcome_matrix": self.outcome_matrix(),
+            "recovery_time_by_tier": self.recovery_time_by_tier(),
+            "byte_flow": self.byte_flow(),
+            "violations": self.violations,
+            "episodes": [
+                {
+                    "episode": e.episode,
+                    "cycles": e.cycles,
+                    "violations": e.violations,
+                    "tier_flow": e.tier_flow,
+                    **(
+                        {"trace_summary": e.trace_summary}
+                        if e.trace_summary is not None
+                        else {}
+                    ),
+                }
+                for e in self.episodes
+            ],
+        }
+
+    def to_json(self, provenance: bool = True) -> str:
+        """JSON form for ``TIER_report.json``, provenance-stamped."""
+        payload = self.to_dict()
+        if provenance:
+            from repro.obs.provenance import provenance_stamp
+
+            payload["provenance"] = provenance_stamp()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """ASCII summary: outcomes, tier latency curve, byte flow."""
+        lines = [
+            f"tier campaign: {len(self.episodes)} episodes, "
+            f"{len(self.cycles)} recovery cycles, "
+            f"{len(self.violations)} violations",
+            f"{'scenario / crash point':<34s} "
+            f"{'memory':>7s} {'disk':>5s} {'backup':>7s} "
+            f"{'refused':>8s} {'error':>6s}",
+        ]
+        for key, row in self.outcome_matrix().items():
+            lines.append(
+                f"{key:<34s} {row.get('memory', 0):>7d} "
+                f"{row.get('disk', 0):>5d} "
+                f"{row.get('backup', 0):>7d} {row.get('refused', 0):>8d} "
+                f"{row.get('engine_error', 0):>6d}"
+            )
+        lines.append("recovery time by tier:")
+        for tier, stats in self.recovery_time_by_tier().items():
+            lines.append(
+                f"  {tier:<8s} n={stats['count']:<4d} "
+                f"mean={stats['mean_s']:.3f}s max={stats['max_s']:.3f}s"
+            )
+        flow = self.byte_flow()
+        lines.append(
+            "byte flow: "
+            f"to_disk={flow['bytes_to_disk']} "
+            f"from_disk={flow['bytes_from_disk']} "
+            f"from_remote={flow['bytes_from_remote']} "
+            f"evicted={flow['disk_bytes_evicted']}"
+        )
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _build(config: TierChaosConfig, episode: int, rng: np.random.Generator):
+    job = TrainingJob.create(
+        model=config.model,
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=config.scale,
+        seed=config.seed * 7919 + episode,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
+    policy = TierPolicy(
+        memory_versions=int(rng.integers(1, 3)),
+        disk_versions=config.disk_versions,
+    )
+    manager = CheckpointManager(
+        job,
+        engine,
+        interval=1,
+        remote_backup_every=int(rng.choice([0, 3])),
+        tier_policy=policy,
+    )
+    return job, engine, manager
+
+
+def _corrupt_random_disk_chunk(engine, rng: np.random.Generator) -> str | None:
+    """Flip bits in one stored *disk* chunk packet; returns a description."""
+    candidates = []
+    for node in range(engine.job.cluster.num_nodes):
+        for key in engine.disk.keys(node):
+            if isinstance(key, tuple) and key[0] == "chunk":
+                candidates.append((node, key))
+    if not candidates:
+        return None
+    candidates.sort(key=repr)
+    node, key = candidates[int(rng.integers(len(candidates)))]
+    payload = engine.disk.get(node, key)
+    corrupt_buffer(
+        payload,
+        byte_index=int(rng.integers(payload.size)),
+        mask=int(rng.integers(1, 256)),
+    )
+    return f"node {node} {key}"
+
+
+# ----------------------------------------------------------------------
+def run_tier_episode(
+    episode: int, config: TierChaosConfig
+) -> TierEpisodeResult:
+    """One seeded tier-loss episode (traced when ``config.trace``)."""
+    if not config.trace:
+        return _run_tier_episode_impl(episode, config, tracer=None)
+    with obs.use_tracer() as tracer:
+        result = _run_tier_episode_impl(episode, config, tracer=tracer)
+    result.trace_summary = obs.summarize(tracer)
+    return result
+
+
+def _run_tier_episode_impl(
+    episode: int,
+    config: TierChaosConfig,
+    tracer,
+) -> TierEpisodeResult:
+    rng = np.random.default_rng([config.seed, episode])
+    result = TierEpisodeResult(episode=episode)
+    job, engine, manager = _build(config, episode, rng)
+
+    version_states: dict[int, dict] = {}
+    version_iteration: dict[int, int] = {}
+    torn_versions: set[int] = set()
+    drained_saves = 0
+    drained_backups = 0
+    restore_breakdowns: list[dict] = []
+
+    def drain_reports() -> None:
+        nonlocal drained_saves, drained_backups
+        fresh = (
+            manager.stats.save_reports[drained_saves:]
+            + manager.stats.backup_reports[drained_backups:]
+        )
+        drained_saves = len(manager.stats.save_reports)
+        drained_backups = len(manager.stats.backup_reports)
+        for report in fresh:
+            version_states.setdefault(report.version, job.snapshot_states())
+            version_iteration.setdefault(
+                report.version,
+                manager._checkpoint_iteration_of_version[report.version],
+            )
+
+    rounds = int(rng.integers(1, config.max_rounds + 1))
+    for _ in range(rounds):
+        # -- train + checkpoint (tier policy demotes after each save) ----
+        for _ in range(int(rng.integers(2, 5))):
+            job.advance()
+            manager.step()
+            drain_reports()
+
+        # -- maybe crash a save mid-flight ------------------------------
+        crash_point = None
+        if rng.random() < P_CRASH:
+            point = str(rng.choice(engine.crash_points))
+            plan = CrashPlan(point=point, after=int(rng.integers(0, 3)))
+            job.advance()
+            engine.crash_injector = CrashInjector(plan)
+            try:
+                manager.step()
+            except InjectedCrash:
+                crash_point = point
+                torn_versions.add(engine.version)
+            finally:
+                engine.crash_injector = None
+            if crash_point is None:
+                drain_reports()
+
+        # -- pick a tier-loss scenario ----------------------------------
+        scenario = str(rng.choice(SCENARIOS, p=SCENARIO_WEIGHTS))
+        n = job.cluster.num_nodes
+        corrupted = None
+        replaced_disk = None
+        if scenario == "none":
+            failed: set[int] = set()
+        elif scenario == "partial":
+            size = int(rng.integers(1, n))
+            failed = {int(x) for x in rng.choice(n, size=size, replace=False)}
+        elif scenario == "memory_tier_loss":
+            failed = set(range(n))  # full cluster power-cycle
+        elif scenario == "disk_rot":
+            corrupted = _corrupt_random_disk_chunk(engine, rng)
+            failed = set(range(n))
+        elif scenario == "disk_replacement":
+            replaced_disk = int(rng.integers(n))
+            engine.on_node_replaced(replaced_disk)
+            failed = set(range(n))
+        else:  # pragma: no cover — scenario tuple and dispatch in sync
+            raise AssertionError(scenario)
+
+        if not failed and crash_point is None:
+            continue  # nothing happened this round
+
+        # -- oracle, then recover ---------------------------------------
+        expected_kind, expected_version = expected_outcome(engine, failed)
+        at_iteration = job.iteration
+        lost_before = manager.stats.iterations_lost
+        cycle = {
+            "scenario": scenario,
+            "crash_point": crash_point,
+            "num_failed": len(failed),
+            "disk_corrupted": corrupted is not None,
+            "disk_replaced": replaced_disk,
+            "expected": expected_kind,
+        }
+        try:
+            report = manager.on_failure(failed)
+        except RecoveryError as exc:
+            cycle["outcome"] = "refused"
+            result.cycles.append(cycle)
+            if expected_kind != "refused":
+                result.violations.append(
+                    f"refused recovery although v{expected_version} was "
+                    f"recoverable from {expected_kind} "
+                    f"(scenario={scenario}): {exc}"
+                )
+            break  # the job is down; the episode ends here
+        except Exception as exc:  # noqa: BLE001 — any leak is a finding
+            cycle["outcome"] = "engine_error"
+            result.cycles.append(cycle)
+            result.violations.append(
+                f"recovery raised {type(exc).__name__} instead of "
+                f"recovering or refusing cleanly (scenario={scenario}): {exc}"
+            )
+            break
+
+        tier = report.tier
+        outcome = "backup" if tier == "remote" else tier
+        cycle["outcome"] = outcome
+        cycle["tier"] = tier
+        cycle["version"] = report.version
+        cycle["recovery_s"] = report.recovery_time
+        cycle["bytes_from_disk"] = report.bytes_from_disk
+        cycle["bytes_from_remote"] = report.bytes_from_remote
+        result.cycles.append(cycle)
+        restore_breakdowns.append(report.breakdown)
+
+        if expected_kind == "refused":
+            result.violations.append(
+                f"engine restored v{report.version} although the oracle "
+                f"found no recoverable version (scenario={scenario})"
+            )
+            break
+        if outcome != expected_kind or report.version != expected_version:
+            result.violations.append(
+                f"restored v{report.version} from {outcome}, expected "
+                f"v{expected_version} from {expected_kind} "
+                f"(scenario={scenario}, failed={sorted(failed)})"
+            )
+        if report.version in torn_versions:
+            result.violations.append(
+                f"restored torn version v{report.version} "
+                f"(scenario={scenario}, crash={crash_point})"
+            )
+        # -- the byte-flow ledger must balance per outcome ---------------
+        if outcome == "disk" and report.bytes_from_disk <= 0:
+            result.violations.append(
+                f"disk restore of v{report.version} read 0 bytes from disk"
+            )
+        if outcome == "disk" and "promote_disk_read" not in report.breakdown:
+            result.violations.append(
+                f"disk restore of v{report.version} has no promote phase "
+                "in its breakdown"
+            )
+        if outcome == "memory" and report.bytes_from_disk:
+            result.violations.append(
+                f"memory restore of v{report.version} claims "
+                f"{report.bytes_from_disk} disk bytes"
+            )
+        if report.version not in version_states:
+            result.violations.append(
+                f"restored v{report.version}, a version no completed save "
+                f"ever committed"
+            )
+        else:
+            result.violations.extend(
+                check_restored_states(job, version_states[report.version])
+            )
+            result.violations.extend(
+                check_redundancy(
+                    engine, report.version, from_backup=outcome == "backup"
+                )
+            )
+            expected_lost = max(
+                0, at_iteration - version_iteration[report.version]
+            )
+            actual_lost = manager.stats.iterations_lost - lost_before
+            if actual_lost != expected_lost:
+                result.violations.append(
+                    f"iterations_lost accounted {actual_lost}, expected "
+                    f"{expected_lost}"
+                )
+
+    # -- episode-level ledger: demoted bytes must equal the reports ------
+    stats = manager.stats
+    reported_to_disk = sum(r.bytes_to_disk for r in stats.demote_reports)
+    if stats.bytes_to_disk != reported_to_disk:
+        result.violations.append(
+            f"bytes_to_disk ledger off: stats={stats.bytes_to_disk}, "
+            f"demote reports sum to {reported_to_disk}"
+        )
+    result.tier_flow = {
+        "demotions": stats.demotions,
+        "evictions": stats.evictions,
+        "skipped_demotions": stats.skipped_demotions,
+        "bytes_to_disk": stats.bytes_to_disk,
+        "bytes_from_disk": sum(c.get("bytes_from_disk", 0) for c in result.cycles),
+        "bytes_from_remote": sum(
+            c.get("bytes_from_remote", 0) for c in result.cycles
+        ),
+        "disk_bytes_evicted": stats.disk_bytes_evicted,
+    }
+
+    # -- traced mode: reconcile per-tier phase totals at 1e-9 ------------
+    if tracer is not None:
+        spans = [r for r in tracer.records() if r["type"] == "span"]
+        for label, kind, breakdowns in (
+            ("tier", "tier", [r.breakdown for r in stats.demote_reports]),
+            ("restore", "restore", restore_breakdowns),
+        ):
+            problems = crosscheck_totals(
+                phase_totals(spans, kind=kind), breakdowns, rel_tol=REL_TOL
+            )
+            result.violations.extend(
+                f"traced {label} phases do not reconcile: {p}"
+                for p in problems
+            )
+    return result
+
+
+def run_tier_campaign(
+    config: TierChaosConfig | None = None,
+) -> TierCampaignReport:
+    """Run ``config.episodes`` seeded tier-loss episodes."""
+    config = config or TierChaosConfig()
+    return TierCampaignReport(
+        config=config,
+        episodes=[
+            run_tier_episode(episode, config)
+            for episode in range(config.episodes)
+        ],
+    )

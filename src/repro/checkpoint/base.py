@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.errors import CheckpointError, RecoveryError
 from repro.checkpoint.job import TrainingJob
-from repro.checkpoint.storage import HostMemoryStore, RemoteStorage
+from repro.checkpoint.storage import HostMemoryStore, LocalDiskStore, RemoteStorage
 from repro.sim.network import REMOTE, ClusterNetwork, TransferRequest
 from repro.tensors.serialization import deserialize_state_dict, serialize_state_dict
 
@@ -58,7 +58,9 @@ class RecoveryReport:
     ``recovery_time`` runs from the load call to training resumption; the
     optional ``restore_redundancy_time`` covers the background work of
     re-establishing fault tolerance (ECCheck's second recovery task),
-    which does not block training.
+    which does not block training.  ``tier`` names the tier the restored
+    version was served from (``"memory"``, ``"disk"`` or ``"remote"``),
+    and ``bytes_from_disk`` counts local-disk reads on the promotion path.
     """
 
     engine: str
@@ -67,7 +69,25 @@ class RecoveryReport:
     breakdown: dict[str, float] = field(default_factory=dict)
     bytes_inter_node: int = 0
     bytes_from_remote: int = 0
+    bytes_from_disk: int = 0
+    tier: str = "memory"
     restore_redundancy_time: float = 0.0
+
+
+@dataclass
+class DemotionReport:
+    """Accounting of one asynchronous memory -> disk demotion.
+
+    ``demote_time`` is simulated seconds *off* the training critical path
+    (the demotion thread writes the cold version to local disk while
+    training continues).
+    """
+
+    engine: str
+    version: int
+    demote_time: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    bytes_to_disk: int = 0
 
 
 class CheckpointEngine(ABC):
@@ -83,6 +103,7 @@ class CheckpointEngine(ABC):
     def __init__(self, job: TrainingJob):
         self.job = job
         self.host = HostMemoryStore(job.cluster.num_nodes)
+        self.disk = LocalDiskStore(job.cluster.num_nodes)
         self.remote = RemoteStorage()
         self.network = ClusterNetwork(job.cluster.num_nodes, job.time_model)
         self.version = 0
@@ -139,9 +160,19 @@ class CheckpointEngine(ABC):
 
     # ------------------------------------------------------------------
     def on_failure(self, failed_nodes: set[int]) -> None:
-        """Wipe the host memory of failed nodes (their RAM is gone)."""
+        """Wipe the host memory of failed nodes (their RAM is gone).
+
+        Local disks survive a crash/reboot, so the disk tier is left
+        intact — that durability gap is exactly what the tier stack
+        exploits.  See :meth:`on_node_replaced` for the case where the
+        physical machine (and its disk) is swapped out.
+        """
         for node in failed_nodes:
             self.host.wipe(node)
+
+    def on_node_replaced(self, rank: int) -> None:
+        """A replacement machine took over ``rank``: its disk is empty."""
+        self.disk.wipe(rank)
 
     def latest_version(self) -> int:
         """Version of the most recent completed checkpoint.
@@ -195,6 +226,35 @@ class CheckpointEngine(ABC):
             ):
                 return version
         return None
+
+    def gc_remote_backups(self, keep: int) -> int:
+        """Reclaim remote space: keep only the newest ``keep`` complete backups.
+
+        Every blob of a version older than the oldest kept complete
+        version is deleted — including torn versions, which are garbage by
+        definition.  Returns the bytes reclaimed.
+
+        Raises:
+            CheckpointError: for a non-positive ``keep``.
+        """
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        complete = [
+            version
+            for version in range(self.version, 0, -1)
+            if all(
+                self.remote.contains(("ckpt", version, worker))
+                for worker in self.job.writers
+            )
+        ]
+        if len(complete) <= keep:
+            return 0
+        horizon = complete[keep - 1]  # oldest version that must survive
+        reclaimed = 0
+        for key in self.remote.keys():
+            if key[0] == "ckpt" and key[1] < horizon:
+                reclaimed += self.remote.delete(key)
+        return reclaimed
 
     def _restore_all_from_remote(self, version: int) -> tuple[float, int]:
         """Load every writer's state from remote; replicas copy from peers.

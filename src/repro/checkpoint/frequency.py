@@ -88,13 +88,15 @@ class AdaptiveFrequencyTuner:
 
     Call :meth:`observe` after each checkpointed span with the measured
     per-iteration overhead fraction; the interval widens multiplicatively
-    when over budget and narrows additively when well under it (AIMD, so
-    the interval converges without oscillating).
+    when over budget and narrows additively — by a fixed
+    ``additive_step`` iterations — when well under it (AIMD, so the
+    interval converges without oscillating).
 
     Attributes:
         interval: current interval in iterations.
         overhead_budget: target overhead fraction.
         min_interval / max_interval: clamps.
+        additive_step: iterations removed per under-budget observation.
     """
 
     interval: int
@@ -102,6 +104,7 @@ class AdaptiveFrequencyTuner:
     min_interval: int = 1
     max_interval: int = 10_000
     headroom: float = 0.5  # tighten when overhead < headroom * budget
+    additive_step: int = 1
     observations: int = 0
 
     def __post_init__(self) -> None:
@@ -113,6 +116,10 @@ class AdaptiveFrequencyTuner:
             )
         if not 1 <= self.min_interval <= self.max_interval:
             raise CheckpointError("min_interval must be <= max_interval")
+        if self.additive_step < 1:
+            raise CheckpointError(
+                f"additive_step must be >= 1, got {self.additive_step}"
+            )
 
     def observe(self, measured_overhead_fraction: float) -> int:
         """Feed one measurement; returns the (possibly updated) interval.
@@ -130,7 +137,11 @@ class AdaptiveFrequencyTuner:
             scale = measured_overhead_fraction / self.overhead_budget
             self.interval = math.ceil(self.interval * min(scale, 2.0))
         elif measured_overhead_fraction < self.headroom * self.overhead_budget:
-            # Comfortable headroom: checkpoint more often.
-            self.interval = self.interval - max(1, self.interval // 10)
+            # Comfortable headroom: checkpoint more often.  The narrow step
+            # is *additive* (a fixed number of iterations, independent of
+            # the current interval) — ``interval // 10`` here would make
+            # both directions multiplicative and the controller MIMD,
+            # which oscillates instead of converging.
+            self.interval = self.interval - self.additive_step
         self.interval = max(self.min_interval, min(self.max_interval, self.interval))
         return self.interval

@@ -7,7 +7,10 @@ policy layer the paper's ``eccheck.initialize`` / ``eccheck.save`` /
 * decides *when* to checkpoint (fixed interval or the adaptive CheckFreq
   tuner fed with measured overhead),
 * schedules low-frequency remote backups (ECCheck's step 4) when the
-  engine supports them,
+  engine supports them, GC'ing old backups past a retention depth,
+* applies the tier policy after each committed save: cold versions are
+  demoted from host memory to the local-disk tier and the disk tier is
+  GC'd (see :mod:`repro.checkpoint.tiering`),
 * handles failures end-to-end: wipe, restore, report how many iterations
   of work were lost.
 
@@ -30,6 +33,7 @@ from repro.errors import CheckpointError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport
 from repro.checkpoint.frequency import AdaptiveFrequencyTuner
 from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.tiering import TierPolicy
 
 
 @dataclass
@@ -45,6 +49,18 @@ class ManagerStats:
     total_checkpoint_s: float = 0.0
     save_reports: list = field(default_factory=list)
     backup_reports: list = field(default_factory=list)
+    #: Tier-stack accounting: completed demotions (memory -> disk), disk
+    #: evictions, demotions skipped because the version was pinned/torn,
+    #: and the per-demotion reports.
+    demotions: int = 0
+    evictions: int = 0
+    skipped_demotions: int = 0
+    bytes_to_disk: int = 0
+    disk_bytes_evicted: int = 0
+    total_demote_s: float = 0.0
+    demote_reports: list = field(default_factory=list)
+    #: Remote bytes reclaimed by backup GC (``remote_backup_keep``).
+    remote_bytes_reclaimed: int = 0
     #: Node replacements registered through the manager.
     replacements: int = 0
     #: Total simulated seconds spent below full redundancy (closed
@@ -70,6 +86,12 @@ class CheckpointManager:
         iteration_s: baseline iteration seconds (for the adaptive tuner).
         remote_backup_every: checkpoints between remote backups, for
             engines exposing ``save_remote_backup`` (0 disables).
+        remote_backup_keep: complete remote backups to retain; older
+            backups are GC'd after each new one lands (0 = keep all).
+        tier_policy: when set, applied after every committed save — cold
+            versions demote to the engine's local-disk tier and the disk
+            tier is GC'd.  Requires an engine with the tier API
+            (``demote_version`` / ``evict_disk_version``).
     """
 
     def __init__(
@@ -80,6 +102,8 @@ class CheckpointManager:
         adaptive: bool = False,
         iteration_s: float | None = None,
         remote_backup_every: int = 0,
+        remote_backup_keep: int = 0,
+        tier_policy: TierPolicy | None = None,
     ):
         if interval < 1:
             raise CheckpointError(f"interval must be >= 1, got {interval}")
@@ -87,17 +111,27 @@ class CheckpointManager:
             raise CheckpointError(
                 f"remote_backup_every must be >= 0, got {remote_backup_every}"
             )
+        if remote_backup_keep < 0:
+            raise CheckpointError(
+                f"remote_backup_keep must be >= 0, got {remote_backup_keep}"
+            )
         if adaptive and (iteration_s is None or iteration_s <= 0):
             raise CheckpointError("adaptive mode needs a positive iteration_s")
         if remote_backup_every and not hasattr(engine, "save_remote_backup"):
             raise CheckpointError(
                 f"engine {engine.name!r} has no remote-backup path"
             )
+        if tier_policy is not None and not hasattr(engine, "demote_version"):
+            raise CheckpointError(
+                f"engine {engine.name!r} has no tier API (demote_version)"
+            )
         self.job = job
         self.engine = engine
         self.interval = interval
         self.iteration_s = iteration_s
         self.remote_backup_every = remote_backup_every
+        self.remote_backup_keep = remote_backup_keep
+        self.tier_policy = tier_policy
         self.tuner = (
             AdaptiveFrequencyTuner(interval=interval) if adaptive else None
         )
@@ -166,7 +200,37 @@ class CheckpointManager:
                     iteration=self.job.iteration,
                 )
                 tracer.metrics.counter("manager.remote_backups").inc()
+            if self.remote_backup_keep and hasattr(self.engine, "gc_remote_backups"):
+                self.stats.remote_bytes_reclaimed += self.engine.gc_remote_backups(
+                    self.remote_backup_keep
+                )
+        if self.tier_policy is not None:
+            self._apply_tier_policy()
         return True
+
+    def _apply_tier_policy(self) -> None:
+        """Demote cold versions to disk and GC the disk tier (async)."""
+        engine = self.engine
+        decision = self.tier_policy.decide(
+            engine.memory_versions(),
+            engine.disk_versions(),
+            pinned=engine.delta_base_version(),
+        )
+        for version in decision.demote:
+            try:
+                report = engine.demote_version(version)
+            except CheckpointError:
+                # Pinned or no longer intact (e.g. wiped by a failure
+                # since the index was built) — not demotable, skip.
+                self.stats.skipped_demotions += 1
+                continue
+            self.stats.demotions += 1
+            self.stats.bytes_to_disk += report.bytes_to_disk
+            self.stats.total_demote_s += report.demote_time
+            self.stats.demote_reports.append(report)
+        for version in decision.evict:
+            self.stats.disk_bytes_evicted += engine.evict_disk_version(version)
+            self.stats.evictions += 1
 
     def on_failure(self, failed_nodes: set[int]) -> RecoveryReport:
         """Handle a failure: mark state lost, restore, account lost work.
@@ -181,6 +245,11 @@ class CheckpointManager:
             "manager.recovery", failed=sorted(failed_nodes)
         ):
             report = self.engine.restore(failed_nodes)
+        if hasattr(self.engine, "prune_memory_index"):
+            # Versions partially wiped by the failure are no longer
+            # demotion candidates (the disk tier accepts only fully
+            # intact versions).
+            self.engine.prune_memory_index()
         self.stats.recoveries += 1
         restored_iteration = self._checkpoint_iteration_of_version.get(
             report.version, 0
@@ -275,9 +344,12 @@ class CheckpointManager:
         """A spare machine takes over ``rank`` under a fresh node id.
 
         Delegates to :meth:`TrainingJob.replace_node` (the explicit
-        node-id <-> rank mapping) and counts the replacement.
+        node-id <-> rank mapping) and counts the replacement.  The new
+        machine arrives with an empty local disk, so the engine's disk
+        tier for that rank is wiped.
         """
         new_id = self.job.replace_node(rank, node_id)
+        self.engine.on_node_replaced(rank)
         self.stats.replacements += 1
         tracer = obs.get_tracer()
         if tracer.enabled:

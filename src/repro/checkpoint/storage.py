@@ -1,10 +1,21 @@
-"""Storage substrates: volatile host memory and durable remote storage.
+"""Storage substrates for the checkpoint tier stack.
 
-Host memory is per node and **non-persistent**: a node failure wipes it
-(the central premise of the paper's fault model).  Remote storage survives
-everything but sits behind the cluster's thin 5 Gbps aggregate pipe — the
-time cost is modelled by the engines, while this module only keeps the
-bytes.
+Three tiers with different durability and bandwidth:
+
+* :class:`HostMemoryStore` — per-node CPU memory.  **Non-persistent**: a
+  node failure wipes it (the central premise of the paper's fault model).
+  Fastest tier; the EC-coded chunks live here.
+* :class:`LocalDiskStore` — per-node local disk (NVMe in the time model).
+  Survives a node *crash/reboot* — host memory is gone but the disk spins
+  back up with its contents intact — but is lost when the physical machine
+  is replaced.  Cold versions are demoted here asynchronously.
+* :class:`RemoteStorage` — durable remote store (never fails) behind the
+  cluster's thin 5 Gbps aggregate pipe.
+
+Time costs are modelled by the engines via :class:`repro.sim.network.TimeModel`;
+this module only keeps the bytes.  All stores maintain **incremental byte
+counters** updated on put/delete/wipe so capacity accounting is O(1) instead
+of an O(n) sweep per query.
 """
 
 from __future__ import annotations
@@ -32,23 +43,28 @@ def _nbytes(value: Any) -> int:
     return 0
 
 
-class HostMemoryStore:
-    """Per-node CPU-memory key-value store, wiped on node failure."""
+class _PerNodeStore:
+    """Per-node key-value store with O(1) byte accounting."""
 
     def __init__(self, num_nodes: int):
         if num_nodes < 1:
             raise CheckpointError(f"num_nodes must be >= 1, got {num_nodes}")
         self.num_nodes = num_nodes
         self._stores: list[dict[Hashable, Any]] = [{} for _ in range(num_nodes)]
+        self._bytes: list[int] = [0] * num_nodes
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise CheckpointError(f"node {node} out of range [0, {self.num_nodes})")
 
     def put(self, node: int, key: Hashable, value: Any) -> None:
-        """Store ``value`` in ``node``'s host memory."""
+        """Store ``value`` on ``node``; overwriting replaces the old bytes."""
         self._check(node)
-        self._stores[node][key] = value
+        store = self._stores[node]
+        if key in store:
+            self._bytes[node] -= _nbytes(store[key])
+        store[key] = value
+        self._bytes[node] += _nbytes(value)
 
     def get(self, node: int, key: Hashable) -> Any:
         """Fetch a value; raises if the node never stored it (or was wiped).
@@ -61,7 +77,7 @@ class HostMemoryStore:
             return self._stores[node][key]
         except KeyError:
             raise CheckpointError(
-                f"node {node} host memory has no key {key!r}"
+                f"node {node} {self._medium} has no key {key!r}"
             ) from None
 
     def contains(self, node: int, key: Hashable) -> bool:
@@ -70,21 +86,50 @@ class HostMemoryStore:
 
     def delete(self, node: int, key: Hashable) -> None:
         self._check(node)
-        self._stores[node].pop(key, None)
+        value = self._stores[node].pop(key, _MISSING)
+        if value is not _MISSING:
+            self._bytes[node] -= _nbytes(value)
 
     def wipe(self, node: int) -> None:
-        """Simulate node failure: all host memory content is lost."""
+        """All content on ``node`` is lost."""
         self._check(node)
         self._stores[node].clear()
+        self._bytes[node] = 0
 
     def keys(self, node: int) -> list[Hashable]:
         self._check(node)
         return list(self._stores[node])
 
     def node_bytes(self, node: int) -> int:
-        """Approximate bytes of checkpoint data resident on a node."""
+        """Bytes of checkpoint data resident on a node (O(1))."""
         self._check(node)
-        return sum(_nbytes(v) for v in self._stores[node].values())
+        return self._bytes[node]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bytes)
+
+    _medium = "store"
+
+
+_MISSING = object()
+
+
+class HostMemoryStore(_PerNodeStore):
+    """Per-node CPU-memory key-value store, wiped on node failure."""
+
+    _medium = "host memory"
+
+
+class LocalDiskStore(_PerNodeStore):
+    """Per-node local-disk tier.
+
+    Survives a node crash (memory is volatile, the disk is not) but not a
+    machine replacement — a new machine arrives with an empty disk, so the
+    engine wipes the rank's disk when a replacement registers.
+    """
+
+    _medium = "local disk"
 
 
 class RemoteStorage:
@@ -92,9 +137,15 @@ class RemoteStorage:
 
     def __init__(self) -> None:
         self._blobs: dict[Hashable, bytes] = {}
+        self._total_bytes = 0
 
     def put(self, key: Hashable, blob: bytes) -> None:
-        self._blobs[key] = bytes(blob)
+        old = self._blobs.get(key)
+        if old is not None:
+            self._total_bytes -= len(old)
+        data = bytes(blob)
+        self._blobs[key] = data
+        self._total_bytes += len(data)
 
     def get(self, key: Hashable) -> bytes:
         """Raises:
@@ -108,9 +159,22 @@ class RemoteStorage:
     def contains(self, key: Hashable) -> bool:
         return key in self._blobs
 
+    def delete(self, key: Hashable) -> int:
+        """Drop a blob (idempotent); returns the bytes reclaimed."""
+        blob = self._blobs.pop(key, None)
+        if blob is None:
+            return 0
+        self._total_bytes -= len(blob)
+        return len(blob)
+
+    def wipe(self) -> None:
+        """Drop everything (administrative reset, used by GC tests)."""
+        self._blobs.clear()
+        self._total_bytes = 0
+
     def keys(self) -> list[Hashable]:
         return list(self._blobs)
 
     @property
     def total_bytes(self) -> int:
-        return sum(len(b) for b in self._blobs.values())
+        return self._total_bytes

@@ -101,4 +101,5 @@ class SyncRemoteEngine(CheckpointEngine):
             recovery_time=load_time,
             breakdown={"load_remote": load_time},
             bytes_from_remote=bytes_read,
+            tier="remote",
         )

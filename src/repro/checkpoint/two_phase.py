@@ -54,12 +54,11 @@ class TwoPhaseEngine(CheckpointEngine):
             logical = self.job.logical_shard_bytes(worker)
             bytes_dtoh += logical
             dtoh_times.append(tm.dtoh_time(logical))
-        stall = max(dtoh_times)
+        stall = max(dtoh_times, default=0.0)
         self._fire("post_snapshot", version=self.version)
 
         # Phase 2 — persist: serialize the snapshot, stream to remote.
         requests = []
-        serialize_times = []
         bytes_to_remote = 0
         for worker, snapshot in snapshots.items():
             self._fire("mid_persist", version=self.version, worker=worker)
@@ -68,7 +67,6 @@ class TwoPhaseEngine(CheckpointEngine):
             logical = self.job.logical_shard_bytes(worker)
             bytes_to_remote += logical
             serialize = tm.serialize_time(logical)
-            serialize_times.append(serialize)
             requests.append(
                 TransferRequest(
                     src=self.job.node_of(worker),
@@ -78,15 +76,33 @@ class TwoPhaseEngine(CheckpointEngine):
                 )
             )
         result = self.network.simulate(requests)
+        # Attribute the persist phase along the *critical* request — the one
+        # whose flow finishes last — using its actual start delay.  Splitting
+        # ``makespan - stall - max(serialize_times)`` instead misattributes
+        # cost whenever per-worker serialize times differ (the worker with
+        # the longest serialization is not necessarily the one whose
+        # transfer finishes last), and ``max()`` raises outright on an
+        # empty writer set.
+        if requests:
+            finish = result.request_finish_times
+            critical = max(range(len(requests)), key=finish.__getitem__)
+            critical_delay = requests[critical].start_delay
+            serialize_attr = critical_delay - stall
+            transfer_attr = result.makespan - critical_delay
+            checkpoint_time = result.makespan
+        else:
+            serialize_attr = 0.0
+            transfer_attr = 0.0
+            checkpoint_time = stall
         return SaveReport(
             engine=self.name,
             version=self.version,
             stall_time=stall,
-            checkpoint_time=result.makespan,
+            checkpoint_time=checkpoint_time,
             breakdown={
                 "snapshot_dtoh": stall,
-                "serialize": max(serialize_times),
-                "transfer_remote": result.makespan - stall - max(serialize_times),
+                "serialize": serialize_attr,
+                "transfer_remote": transfer_attr,
             },
             bytes_dtoh=bytes_dtoh,
             bytes_to_remote=bytes_to_remote,
@@ -121,4 +137,5 @@ class TwoPhaseEngine(CheckpointEngine):
             recovery_time=load_time,
             breakdown={"load_remote": load_time},
             bytes_from_remote=bytes_read,
+            tier="remote",
         )

@@ -125,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each episode under a tracer and attach per-episode "
         "trace summaries to the report",
     )
+    chaos.add_argument(
+        "--tiers",
+        action="store_true",
+        help="run the tier-loss campaign instead (ECCheck under a tier "
+        "policy; memory-wipe / disk-rot / disk-replacement scenarios "
+        "recovered through the memory -> disk -> remote walk); default "
+        "output becomes TIER_report.json",
+    )
 
     elastic = sub.add_parser(
         "elastic",
@@ -212,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1e-9,
         help="relative tolerance for the phase-total crosscheck",
+    )
+    trace.add_argument(
+        "--tier-keep",
+        type=int,
+        default=0,
+        help="hot-tier depth: keep this many versions in host memory and "
+        "demote colder ones to the local-disk tier after each save "
+        "(0 disables the tier policy; eccheck only)",
     )
 
     export = sub.add_parser(
@@ -362,6 +378,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
 
 def _chaos(args, out) -> int:
     """Run a chaos campaign; exit 0 iff no invariant was violated."""
+    if args.tiers:
+        return _tier_chaos(args, out)
     from repro.chaos.campaign import ChaosConfig, run_campaign
 
     engines = tuple(
@@ -380,6 +398,28 @@ def _chaos(args, out) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.output}", file=out)
+    return 1 if report.violations else 0
+
+
+def _tier_chaos(args, out) -> int:
+    """Run the tier-loss campaign; exit 0 iff no invariant was violated."""
+    from repro.chaos.tier_campaign import TierChaosConfig, run_tier_campaign
+
+    config = TierChaosConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        trace=args.trace,
+    )
+    report = run_tier_campaign(config)
+    print(report.render(), file=out)
+    output = args.output
+    if output == "CHAOS_report.json":  # the non-tier default; re-target it
+        output = "TIER_report.json"
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {output}", file=out)
     return 1 if report.violations else 0
 
 
@@ -421,6 +461,7 @@ def _trace(args, out) -> int:
         out_dir=args.out_dir,
         rel_tol=args.rel_tol,
         keep_failed=args.keep_failed,
+        tier_memory_versions=args.tier_keep,
         out=out,
     )
 

@@ -39,8 +39,14 @@ import numpy as np
 
 from repro import obs
 from repro.errors import CheckpointError, RecoveryError
-from repro.checkpoint.base import CheckpointEngine, RecoveryReport, SaveReport
+from repro.checkpoint.base import (
+    CheckpointEngine,
+    DemotionReport,
+    RecoveryReport,
+    SaveReport,
+)
 from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.storage import _nbytes
 from repro.core.integrity import chunk_digest, verify_chunk
 from repro.core.placement import (
     PlacementPlan,
@@ -141,6 +147,12 @@ class ECCheckEngine(CheckpointEngine):
         self.last_pipeline_stats = None
         self._last_packets: dict[int, np.ndarray] = {}
         self._last_full_version: int | None = None
+        #: Committed versions whose chunks are resident in host memory /
+        #: in the local-disk tier.  Advisory indices for the tier policy
+        #: (candidates for demotion/eviction); the restore walk re-derives
+        #: availability from raw storage and never trusts them.
+        self._chunk_versions: set[int] = set()
+        self._disk_versions: set[int] = set()
         #: Ranks currently hosting chunks (all of them at full strength;
         #: a subset after an elastic degraded :meth:`reconfigure`).
         self.active_nodes: list[int] = list(range(job.cluster.num_nodes))
@@ -612,6 +624,7 @@ class ECCheckEngine(CheckpointEngine):
             w: checkpoints[w].packet.payload.copy() for w in range(world)
         }
         self._last_full_version = version
+        self._chunk_versions.add(version)
 
         comm_makespan = self.network.simulate(requests).makespan if requests else 0.0
         encode_total = tm.encode_time(
@@ -847,6 +860,7 @@ class ECCheckEngine(CheckpointEngine):
             w: checkpoints[w].packet.payload.copy() for w in range(world)
         }
         self._last_full_version = version
+        self._chunk_versions.add(version)
         # As in the full save, phase sims land only on completion so a
         # crashed delta save contributes nothing to trace phase totals.
         step1_span.add_sim(step1)
@@ -906,8 +920,218 @@ class ECCheckEngine(CheckpointEngine):
                 bytes_to_remote=total,
             )
             span.add_sim(report.checkpoint_time)
+            span.set(bytes_to_remote=total)
             obs.record_phases(tracer, span, report.breakdown, kind="save")
         return report
+
+    # ------------------------------------------------------------------
+    # Tier management: asynchronous demotion to the local-disk tier,
+    # promotion on restore, and disk-tier GC (see checkpoint/tiering.py
+    # for the policy that drives these).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_version_key(key, version: int) -> bool:
+        return (
+            isinstance(key, tuple)
+            and len(key) >= 2
+            and key[0] in ("chunk", "digest", "meta")
+            and key[1] == version
+        )
+
+    @staticmethod
+    def _tier_copy(value):
+        """Decouple tiers: a mutation in one must not rot the other."""
+        return value.copy() if isinstance(value, np.ndarray) else value
+
+    def memory_versions(self) -> list[int]:
+        """Committed versions with chunks resident in host memory."""
+        return sorted(self._chunk_versions)
+
+    def disk_versions(self) -> list[int]:
+        """Versions currently held by the local-disk tier."""
+        return sorted(self._disk_versions)
+
+    def delta_base_version(self) -> int | None:
+        """Version the next incremental save XORs against (pinned hot)."""
+        return self._last_full_version
+
+    def _memory_version_intact(self, version: int) -> bool:
+        """Every chunk of ``version`` whole in memory, metadata complete."""
+        plan = self.placement_of(version)
+        groups = len(plan.data_group[0])
+        for j, node in enumerate(plan.data_nodes):
+            if not self._chunk_intact(node, version, "data", j, groups):
+                return False
+        for i, node in enumerate(plan.parity_nodes):
+            if not self._chunk_intact(node, version, "parity", i, groups):
+                return False
+        return self._metadata_complete(version, list(self.active_nodes))
+
+    def prune_memory_index(self) -> list[int]:
+        """Drop no-longer-intact versions from the demotion candidate index.
+
+        Called after failures: versions whose chunks were partially wiped
+        must never be demoted (the disk tier only accepts fully intact
+        versions), so they stop being candidates.  Only the index shrinks —
+        no bytes are deleted, and the restore walk is unaffected.  Returns
+        the pruned versions.
+        """
+        stale = [
+            v for v in sorted(self._chunk_versions)
+            if not self._memory_version_intact(v)
+        ]
+        for version in stale:
+            self._chunk_versions.discard(version)
+        return stale
+
+    def demote_version(self, version: int) -> DemotionReport:
+        """Move a cold version's chunks + metadata from memory to disk.
+
+        Runs off the training critical path (the reported ``demote_time``
+        is background disk-write seconds).  Refuses to demote the
+        incremental-delta base (the next ``save_incremental`` reads its
+        chunks from host memory) and any version that is not fully intact
+        in memory — a torn demotion would poison the disk tier.
+
+        Raises:
+            CheckpointError: when the version is not demotable.
+        """
+        tracer = obs.get_tracer()
+        with tracer.span("eccheck.demote", kind="tier", version=version) as span:
+            report = self._demote_impl(version)
+            span.add_sim(report.demote_time)
+            span.set(bytes_to_disk=report.bytes_to_disk)
+            obs.record_phases(tracer, span, report.breakdown, kind="tier")
+            if tracer.enabled:
+                tracer.metrics.counter("tier.demotions").inc()
+                tracer.metrics.counter("tier.bytes_to_disk").inc(
+                    report.bytes_to_disk
+                )
+        return report
+
+    def _demote_impl(self, version: int) -> DemotionReport:
+        if version not in self._chunk_versions:
+            raise CheckpointError(
+                f"version {version} has no in-memory chunks to demote"
+            )
+        if version == self._last_full_version and self._last_packets:
+            raise CheckpointError(
+                f"version {version} is the incremental-delta base; demoting "
+                "it would break the next save_incremental"
+            )
+        if not self._memory_version_intact(version):
+            raise CheckpointError(
+                f"version {version} is not fully intact in memory; refusing "
+                "a torn demotion"
+            )
+        tm = self.job.time_model
+        n = self.job.cluster.num_nodes
+        per_node_bytes = [0] * n
+        for node in range(n):
+            for key in self.host.keys(node):
+                if self._is_version_key(key, version):
+                    value = self.host.get(node, key)
+                    self.disk.put(node, key, self._tier_copy(value))
+                    per_node_bytes[node] += _nbytes(value)
+                    self.host.delete(node, key)
+        demote_time = max(
+            (tm.disk_write_time(b) for b in per_node_bytes if b), default=0.0
+        )
+        self._chunk_versions.discard(version)
+        self._disk_versions.add(version)
+        return DemotionReport(
+            engine=self.name,
+            version=version,
+            demote_time=demote_time,
+            breakdown={"demote_disk_write": demote_time},
+            bytes_to_disk=sum(per_node_bytes),
+        )
+
+    def evict_disk_version(self, version: int) -> int:
+        """GC one version from the disk tier; returns bytes reclaimed."""
+        freed = 0
+        for node in range(self.job.cluster.num_nodes):
+            for key in self.disk.keys(node):
+                if self._is_version_key(key, version):
+                    freed += _nbytes(self.disk.get(node, key))
+                    self.disk.delete(node, key)
+        self._disk_versions.discard(version)
+        tracer = obs.get_tracer()
+        if tracer.enabled and freed:
+            tracer.metrics.counter("tier.disk_bytes_evicted").inc(freed)
+        return freed
+
+    def _disk_chunk_intact(
+        self, node: int, version: int, kind: str, idx: int, groups: int
+    ) -> bool:
+        """Disk-tier twin of :meth:`_chunk_intact` (digest-verified)."""
+        for r in range(groups):
+            key = self.chunk_key(version, kind, idx, r)
+            digest_key = self.digest_key(version, kind, idx, r)
+            if not (
+                self.disk.contains(node, key)
+                and self.disk.contains(node, digest_key)
+            ):
+                return False
+            if not verify_chunk(
+                self.disk.get(node, key), self.disk.get(node, digest_key)
+            ):
+                return False
+        return True
+
+    def _disk_version_intact(self, version: int) -> bool:
+        """Whole version restorable from disk: every chunk verifies and
+        every worker's metadata survives on some node's disk.
+
+        Derived purely from disk contents — never from the advisory
+        ``_disk_versions`` index — so the restore walk cannot be fooled
+        by a stale index after disk loss.
+        """
+        plan = self.placement_of(version)
+        groups = len(plan.data_group[0])
+        for j, node in enumerate(plan.data_nodes):
+            if not self._disk_chunk_intact(node, version, "data", j, groups):
+                return False
+        for i, node in enumerate(plan.parity_nodes):
+            if not self._disk_chunk_intact(node, version, "parity", i, groups):
+                return False
+        n = self.job.cluster.num_nodes
+        for worker in range(self.job.world_size):
+            if not any(
+                self.disk.contains(node, ("meta", version, worker))
+                for node in range(n)
+            ):
+                return False
+        return True
+
+    def _promote_version(self, version: int) -> tuple[float, int]:
+        """Copy a disk version back into host memory (disk copy kept).
+
+        Returns ``(promote_seconds, bytes_read)``.  After the per-node
+        copy-back, metadata coverage is re-established on every active
+        node (a replacement machine's empty disk leaves gaps that the
+        surviving disks fill).
+        """
+        tm = self.job.time_model
+        n = self.job.cluster.num_nodes
+        per_node_bytes = [0] * n
+        for node in range(n):
+            for key in self.disk.keys(node):
+                if self._is_version_key(key, version):
+                    value = self.disk.get(node, key)
+                    self.host.put(node, key, self._tier_copy(value))
+                    per_node_bytes[node] += _nbytes(value)
+        all_nodes = list(range(n))
+        for worker in range(self.job.world_size):
+            record = self._meta_record(version, worker, all_nodes)
+            for node in self.active_nodes:
+                if not self.host.contains(node, ("meta", version, worker)):
+                    self.host.put(node, ("meta", version, worker), record)
+        promote_s = max(
+            (tm.disk_read_time(b) for b in per_node_bytes if b), default=0.0
+        )
+        self._chunk_versions.add(version)
+        return promote_s, sum(per_node_bytes)
 
     # ------------------------------------------------------------------
     # eccheck.load — both recovery workflows
@@ -918,7 +1142,11 @@ class ECCheckEngine(CheckpointEngine):
             "eccheck.restore", kind="restore", failed=sorted(failed_nodes)
         ) as span:
             report = self._restore_impl(failed_nodes)
-            span.set(version=report.version)
+            span.set(version=report.version, tier=report.tier)
+            if report.bytes_from_disk:
+                span.set(bytes_from_disk=report.bytes_from_disk)
+            if report.bytes_from_remote:
+                span.set(bytes_from_remote=report.bytes_from_remote)
             span.add_sim(report.recovery_time)
             obs.record_phases(tracer, span, report.breakdown, kind="restore")
             if tracer.enabled:
@@ -927,6 +1155,9 @@ class ECCheckEngine(CheckpointEngine):
                 )
                 tracer.metrics.counter("restore.bytes_from_remote").inc(
                     report.bytes_from_remote
+                )
+                tracer.metrics.counter("tier.bytes_from_disk").inc(
+                    report.bytes_from_disk
                 )
         return report
 
@@ -941,39 +1172,66 @@ class ECCheckEngine(CheckpointEngine):
             node for node in range(self.job.cluster.num_nodes)
             if node not in failed_nodes
         ]
-        if not surviving:
-            return self._restore_from_backup(latest, failed_nodes)
 
         # A save interrupted by the crash may have left a torn version
-        # behind; walk back to the newest version with >= k intact chunks
-        # (metadata included), exactly as a restart would.  Each candidate
-        # is judged against the placement *it* was saved under — elastic
-        # regroups mean adjacent versions can have different layouts.
+        # behind; walk back to the newest version restorable from *any*
+        # tier, exactly as a restart would: in-memory chunks first (>= k
+        # intact chunks plus complete metadata on the survivors), then the
+        # local-disk tier (which survives memory loss — including a full
+        # cluster power-cycle, where ``surviving`` is empty).  Each
+        # candidate is judged against the placement *it* was saved under —
+        # elastic regroups mean adjacent versions can have different
+        # layouts.  Demotion only ever moves versions older than everything
+        # still in memory, so checking memory before disk per candidate
+        # preserves strict newest-first order across tiers.
         version = None
+        from_disk = False
         plan = self.placement
         chunk_available: dict[int, int] = {}
         for candidate in range(latest, 0, -1):
             plan_v = self.placement_of(candidate)
-            available = self._surviving_chunks(candidate, failed_nodes)
-            if len(available) >= plan_v.k and self._metadata_complete(
-                candidate, surviving
-            ):
-                version, chunk_available, plan = candidate, available, plan_v
+            if surviving:
+                available = self._surviving_chunks(candidate, failed_nodes)
+                if len(available) >= plan_v.k and self._metadata_complete(
+                    candidate, surviving
+                ):
+                    version, chunk_available, plan = candidate, available, plan_v
+                    break
+            if self._disk_version_intact(candidate):
+                version, plan, from_disk = candidate, plan_v, True
                 break
         if version is None:
             return self._restore_from_backup(latest, failed_nodes)
+
+        promote_s = 0.0
+        promote_bytes = 0
+        recovery_failed = failed_nodes
+        if from_disk:
+            # Promotion re-materialises the whole version in host memory
+            # (failed nodes have rebooted with empty RAM but live disks),
+            # after which recovery proceeds as if nothing was lost.
+            promote_s, promote_bytes = self._promote_version(version)
+            chunk_available = self._surviving_chunks(version, set())
+            recovery_failed = set()
 
         # A data chunk may be unavailable because its node failed OR its
         # packets failed digest verification (silent corruption) — either
         # way it is an erasure and the decode workflow handles it.
         all_data_chunks_intact = all(j in chunk_available for j in range(plan.k))
         if all_data_chunks_intact:
-            return self._recover_all_data_nodes_alive(
-                version, failed_nodes, chunk_available, plan
+            report = self._recover_all_data_nodes_alive(
+                version, recovery_failed, chunk_available, plan
             )
-        return self._recover_with_decoding(
-            version, failed_nodes, chunk_available, plan
-        )
+        else:
+            report = self._recover_with_decoding(
+                version, recovery_failed, chunk_available, plan
+            )
+        if from_disk:
+            report.recovery_time += promote_s
+            report.breakdown["promote_disk_read"] = promote_s
+            report.bytes_from_disk = promote_bytes
+            report.tier = "disk"
+        return report
 
     # -- helpers --------------------------------------------------------
     def _surviving_chunks(
@@ -1060,6 +1318,7 @@ class ECCheckEngine(CheckpointEngine):
             recovery_time=load_time,
             breakdown={"load_remote_backup": load_time},
             bytes_from_remote=bytes_read,
+            tier="remote",
         )
 
     def _recover_all_data_nodes_alive(

@@ -74,11 +74,17 @@ def packet_delta(
     dirty_bytes = 0
     if total_blocks:
         # One vectorized reduction instead of a Python loop per block:
-        # zero-pad to a whole number of blocks, view as (blocks, block_size),
-        # and ask which rows contain any set bit.
-        padded = np.zeros(total_blocks * block_size, dtype=np.uint8)
-        padded[: delta.nbytes] = delta
-        dirty = padded.reshape(total_blocks, block_size).any(axis=1)
+        # view the delta as (blocks, block_size) and ask which rows contain
+        # any set bit.  When the packet is block-aligned — the common case,
+        # since engine packets are padded to ``packet_alignment`` — the
+        # reshape is a zero-copy view of ``delta`` itself; only ragged
+        # tails pay the zero-padded staging copy.
+        if delta.nbytes % block_size == 0:
+            dirty = delta.reshape(total_blocks, block_size).any(axis=1)
+        else:
+            padded = np.zeros(total_blocks * block_size, dtype=np.uint8)
+            padded[: delta.nbytes] = delta
+            dirty = padded.reshape(total_blocks, block_size).any(axis=1)
         dirty_blocks = int(np.count_nonzero(dirty))
         dirty_bytes = dirty_blocks * block_size
         # The final block may be short; padding never sets bits, so only

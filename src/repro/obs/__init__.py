@@ -30,6 +30,7 @@ from repro.obs.critical_path import (
     pipeline_critical_path,
     render_analysis,
     thread_utilization,
+    tier_byte_flow,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.provenance import provenance_stamp
@@ -143,6 +144,7 @@ __all__ = [
     "provenance_stamp",
     "record_phases",
     "render_analysis",
+    "tier_byte_flow",
     "summarize",
     "thread_utilization",
     "use_tracer",

@@ -339,6 +339,36 @@ def idle_slot_report(
 
 
 # ---------------------------------------------------------------------------
+# Per-tier byte flow
+# ---------------------------------------------------------------------------
+#: Span attributes that carry tier traffic, in storage-hierarchy order.
+TIER_BYTE_ATTRS = (
+    "bytes_to_disk",
+    "bytes_from_disk",
+    "bytes_to_remote",
+    "bytes_from_remote",
+)
+
+
+def tier_byte_flow(spans: Iterable[Dict[str, Any]]) -> Dict[str, int]:
+    """Sum per-tier byte traffic over span attributes.
+
+    Demotion spans carry ``bytes_to_disk``, restore spans
+    ``bytes_from_disk``/``bytes_from_remote``, backup saves
+    ``bytes_to_remote`` — together the full byte ledger of the tier
+    stack, derived purely from the trace.
+    """
+    flow = {attr: 0 for attr in TIER_BYTE_ATTRS}
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        for key in TIER_BYTE_ATTRS:
+            value = attrs.get(key)
+            if value:
+                flow[key] += int(value)
+    return flow
+
+
+# ---------------------------------------------------------------------------
 # Bundled analysis
 # ---------------------------------------------------------------------------
 @dataclass
@@ -351,6 +381,11 @@ class TraceAnalysis:
     #: and degraded regroups, empty for traces without an elastic run.
     repair_phase_totals: Dict[str, float] = field(default_factory=dict)
     regroup_phase_totals: Dict[str, float] = field(default_factory=dict)
+    #: Tier-stack spans: memory -> disk demotions (kind="tier"), empty
+    #: for traces without a tier policy.
+    tier_phase_totals: Dict[str, float] = field(default_factory=dict)
+    #: Per-tier byte traffic summed from span attributes.
+    tier_byte_flow: Dict[str, int] = field(default_factory=dict)
     crosscheck_problems: List[str] = field(default_factory=list)
     critical_paths: List[PipelineCriticalPath] = field(default_factory=list)
     utilization: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -363,14 +398,17 @@ def analyze_trace(
     restore_breakdowns: Optional[List[Dict[str, float]]] = None,
     repair_breakdowns: Optional[List[Dict[str, float]]] = None,
     regroup_breakdowns: Optional[List[Dict[str, float]]] = None,
+    tier_breakdowns: Optional[List[Dict[str, float]]] = None,
     rel_tol: float = 1e-9,
 ) -> TraceAnalysis:
     """Run every analysis; reconcile against report breakdowns if given.
 
     ``repair_breakdowns``/``regroup_breakdowns`` come from an elastic
     run's :class:`~repro.elastic.repair.RepairReport` breakdowns and the
-    controller's ``regroup_reports``; their sim totals must match the
-    trace's repair/regroup phase spans to ``rel_tol``.
+    controller's ``regroup_reports``; ``tier_breakdowns`` from a tiered
+    run's :class:`~repro.checkpoint.base.DemotionReport` breakdowns.
+    Their sim totals must match the trace's matching phase spans to
+    ``rel_tol``.
 
     Raises:
         ReproError: if the trace holds no spans at all.
@@ -382,6 +420,8 @@ def analyze_trace(
         restore_phase_totals=phase_totals(trace.spans, kind="restore"),
         repair_phase_totals=phase_totals(trace.spans, kind="repair"),
         regroup_phase_totals=phase_totals(trace.spans, kind="regroup"),
+        tier_phase_totals=phase_totals(trace.spans, kind="tier"),
+        tier_byte_flow=tier_byte_flow(trace.spans),
         critical_paths=pipeline_critical_path(trace.spans),
         utilization=thread_utilization(trace.spans),
         idle_slots=idle_slot_report(trace),
@@ -391,6 +431,7 @@ def analyze_trace(
         (analysis.restore_phase_totals, restore_breakdowns),
         (analysis.repair_phase_totals, repair_breakdowns),
         (analysis.regroup_phase_totals, regroup_breakdowns),
+        (analysis.tier_phase_totals, tier_breakdowns),
     ):
         if breakdowns is not None:
             analysis.crosscheck_problems += crosscheck_totals(
@@ -424,6 +465,14 @@ def render_analysis(analysis: TraceAnalysis) -> str:
         lines += _phase_lines("repair phases (sim):", analysis.repair_phase_totals)
     if analysis.regroup_phase_totals:
         lines += _phase_lines("regroup phases (sim):", analysis.regroup_phase_totals)
+    if analysis.tier_phase_totals:
+        lines += _phase_lines("tier phases (sim):", analysis.tier_phase_totals)
+    if any(analysis.tier_byte_flow.values()):
+        lines.append("per-tier byte flow:")
+        for key in TIER_BYTE_ATTRS:
+            volume = analysis.tier_byte_flow.get(key, 0)
+            if volume:
+                lines.append(f"  {key:<28} {volume / 2**20:>12.1f} MiB")
 
     if analysis.critical_paths:
         lines.append("pipeline critical paths (wall):")

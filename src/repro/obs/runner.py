@@ -21,6 +21,7 @@ from repro.obs import trace_io
 from repro.analysis.breakdown import normalise_breakdown, sum_breakdowns
 from repro.checkpoint.job import TrainingJob
 from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.tiering import TierPolicy
 from repro.checkpoint.replication import GeminiReplicationEngine
 from repro.checkpoint.sync_remote import SyncRemoteEngine
 from repro.checkpoint.two_phase import TwoPhaseEngine
@@ -93,6 +94,7 @@ def run_traced_job(
     out_dir: str | None = None,
     rel_tol: float = 1e-9,
     keep_failed: bool = False,
+    tier_memory_versions: int = 0,
     out=None,
 ) -> int:
     """Run a traced save/restore job; return 0 iff the trace reconciles.
@@ -101,6 +103,11 @@ def run_traced_job(
     tables for the save and restore paths, each cross-checked against the
     engine's report breakdowns via
     :func:`repro.obs.trace_io.crosscheck_totals`.
+
+    ``tier_memory_versions > 0`` runs the manager under a
+    :class:`~repro.checkpoint.tiering.TierPolicy` with that hot-tier
+    depth (engines with the tier API only); demotion spans are
+    cross-checked against the demotion report breakdowns the same way.
 
     ``out_dir`` places the trace file (and any relative ``output`` path)
     inside a directory, creating it if needed.  The trace is written via
@@ -115,12 +122,21 @@ def run_traced_job(
         output = os.path.join(out_dir, os.path.basename(output))
     job, engine = build_traced_job(engine_name, model, scale, seed)
     supports_backup = hasattr(engine, "save_remote_backup")
+    tier_policy = None
+    if tier_memory_versions > 0:
+        if not hasattr(engine, "demote_version"):
+            raise ReproError(
+                f"engine {engine_name!r} has no tier API; "
+                "--tier-keep needs eccheck"
+            )
+        tier_policy = TierPolicy(memory_versions=tier_memory_versions)
     with obs.use_tracer() as tracer:
         manager = CheckpointManager(
             job,
             engine,
             interval=interval,
             remote_backup_every=backup_every if supports_backup else 0,
+            tier_policy=tier_policy,
         )
         for _ in range(iterations):
             job.advance()
@@ -140,6 +156,9 @@ def run_traced_job(
     restore_breakdowns = [r.breakdown for r in recovery_reports]
     restore_totals = trace_io.phase_totals(spans, kind="restore")
     problems += trace_io.crosscheck_totals(restore_totals, restore_breakdowns, rel_tol)
+    tier_breakdowns = [r.breakdown for r in manager.stats.demote_reports]
+    tier_totals = trace_io.phase_totals(spans, kind="tier")
+    problems += trace_io.crosscheck_totals(tier_totals, tier_breakdowns, rel_tol)
 
     events = len(tracer.records()) - len(spans)
     print(
@@ -159,6 +178,18 @@ def run_traced_job(
             "restore phases:", restore_totals, sum_breakdowns(restore_breakdowns)
         )
         print("\n".join(table), file=out)
+    if tier_totals:
+        table = _phase_table(
+            "tier phases:", tier_totals, sum_breakdowns(tier_breakdowns)
+        )
+        print("\n".join(table), file=out)
+        print(
+            f"  tier stack: {manager.stats.demotions} demotions "
+            f"({manager.stats.bytes_to_disk} B to disk), "
+            f"{manager.stats.evictions} evictions "
+            f"({manager.stats.disk_bytes_evicted} B reclaimed)",
+            file=out,
+        )
     counters = tracer.metrics.snapshot()["counters"]
     for name in sorted(counters):
         print(f"  counter {name} = {counters[name]}", file=out)

@@ -55,6 +55,10 @@ class TimeModel:
         encode_threads: threads in the encoding pool (throughput scales
             linearly below ``encode_gbps``).
         memcpy_gbps: host-memory copy throughput (buffer staging).
+        disk_write_gbps: per-node local-NVMe write bandwidth (the
+            demotion path of the tier stack; ~2 GB/s sustained).
+        disk_read_gbps: per-node local-NVMe read bandwidth (the
+            promotion/restore path; ~3.5 GB/s sustained).
         decompose_overhead_s: fixed per-save cost of analysing and
             decomposing the ``state_dict`` (step 1 bookkeeping).
     """
@@ -69,6 +73,8 @@ class TimeModel:
     encode_gbps: float = 40.0
     encode_threads: int = 4
     memcpy_gbps: float = 200.0
+    disk_write_gbps: float = 16.0
+    disk_read_gbps: float = 28.0
     decompose_overhead_s: float = 0.01
 
     # ------------------------------------------------------------------
@@ -101,6 +107,14 @@ class TimeModel:
     def memcpy_time(self, nbytes: int) -> float:
         """Seconds for a host-memory buffer copy."""
         return nbytes / gbps(self.memcpy_gbps)
+
+    def disk_write_time(self, nbytes: int) -> float:
+        """Seconds to write ``nbytes`` to one node's local disk."""
+        return nbytes / gbps(self.disk_write_gbps)
+
+    def disk_read_time(self, nbytes: int) -> float:
+        """Seconds to read ``nbytes`` from one node's local disk."""
+        return nbytes / gbps(self.disk_read_gbps)
 
 
 # ---------------------------------------------------------------------------
@@ -329,27 +343,42 @@ class ClusterNetwork:
         sim = Simulator()
         net = self._build(sim)
         flows: list[Flow] = []
+        by_request: list[Flow | None] = [None] * len(requests)
 
-        def launch(request: TransferRequest) -> None:
-            flows.append(
-                net.start_flow(self.route(request.src, request.dst), request.nbytes)
+        def launch(index: int, request: TransferRequest) -> None:
+            flow = net.start_flow(
+                self.route(request.src, request.dst), request.nbytes
             )
+            flows.append(flow)
+            by_request[index] = flow
 
-        for request in requests:
-            sim.schedule(request.start_delay, lambda r=request: launch(r))
+        for index, request in enumerate(requests):
+            sim.schedule(
+                request.start_delay, lambda i=index, r=request: launch(i, r)
+            )
         sim.run()
         makespan = max((f.finish_time for f in flows), default=0.0)
         return TransferResult(
             makespan=makespan,
             flow_finish_times=[f.finish_time for f in flows],
             total_bytes=sum(f.nbytes for f in flows),
+            request_finish_times=[
+                f.finish_time if f is not None else 0.0 for f in by_request
+            ],
         )
 
 
 @dataclass(frozen=True)
 class TransferResult:
-    """Outcome of a simulated transfer phase."""
+    """Outcome of a simulated transfer phase.
+
+    ``flow_finish_times`` is ordered by flow *launch* (ascending start
+    delay); ``request_finish_times`` is aligned with the request list the
+    caller passed to :meth:`ClusterNetwork.simulate`, so per-request cost
+    attribution does not depend on launch order.
+    """
 
     makespan: float
     flow_finish_times: list[float]
     total_bytes: float
+    request_finish_times: list[float] = field(default_factory=list)

@@ -1,0 +1,106 @@
+"""Tests for the tier-loss chaos campaign.
+
+The 20-episode seed-0 campaign is the CI gate the issue asks for: every
+memory-wipe episode must recover bit-exact from the disk tier with zero
+invariant violations.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.tier_campaign import (
+    TierChaosConfig,
+    run_tier_campaign,
+    run_tier_episode,
+)
+
+
+@pytest.fixture(scope="module")
+def gate_report():
+    """The CI-gate campaign: 20 seeded episodes, seed 0."""
+    return run_tier_campaign(TierChaosConfig(episodes=20, seed=0))
+
+
+def test_gate_campaign_has_zero_violations(gate_report):
+    assert len(gate_report.episodes) == 20
+    assert gate_report.violations == []
+
+
+def test_gate_campaign_exercises_the_disk_tier(gate_report):
+    """The campaign must actually lose memory tiers and recover from
+    disk — a campaign that never hits the disk path gates nothing."""
+    outcomes = {c["outcome"] for c in gate_report.cycles}
+    assert "disk" in outcomes
+    assert "memory" in outcomes
+    wipes = [
+        c for c in gate_report.cycles if c["scenario"] == "memory_tier_loss"
+    ]
+    assert len(wipes) >= 3
+    assert any(c["outcome"] == "disk" for c in wipes)
+
+
+def test_disk_restores_account_promotion_bytes(gate_report):
+    for cycle in gate_report.cycles:
+        if cycle["outcome"] == "disk":
+            assert cycle["bytes_from_disk"] > 0
+        elif cycle["outcome"] == "memory":
+            assert cycle["bytes_from_disk"] == 0
+
+
+def test_recovery_time_by_tier_covers_observed_tiers(gate_report):
+    stats = gate_report.recovery_time_by_tier()
+    observed = {c["tier"] for c in gate_report.cycles if "tier" in c}
+    assert set(stats) == observed
+    for tier_stats in stats.values():
+        assert tier_stats["min_s"] <= tier_stats["mean_s"] <= tier_stats["max_s"]
+
+
+def test_byte_flow_sums_episode_ledgers(gate_report):
+    flow = gate_report.byte_flow()
+    assert flow["bytes_to_disk"] > 0  # demotions actually ran
+    assert flow["bytes_from_disk"] == sum(
+        c.get("bytes_from_disk", 0) for c in gate_report.cycles
+    )
+
+
+def test_campaign_is_deterministic():
+    config = TierChaosConfig(episodes=4, seed=13)
+    assert (
+        run_tier_campaign(config).to_dict()
+        == run_tier_campaign(config).to_dict()
+    )
+
+
+def test_traced_episodes_reconcile_at_1e9():
+    """Traced runs crosscheck tier/restore phase totals against report
+    breakdowns at 1e-9; any mismatch lands in violations."""
+    report = run_tier_campaign(TierChaosConfig(episodes=6, seed=5, trace=True))
+    assert report.violations == []
+    for episode in report.episodes:
+        assert episode.trace_summary is not None
+        assert episode.trace_summary["nesting_problems"] == []
+
+
+def test_trace_flag_does_not_change_the_draws():
+    """The rng stream must be identical traced and untraced."""
+    plain = run_tier_episode(2, TierChaosConfig(episodes=3, seed=7))
+    traced = run_tier_episode(2, TierChaosConfig(episodes=3, seed=7, trace=True))
+    assert plain.cycles == traced.cycles
+    assert plain.violations == traced.violations
+
+
+def test_report_json_round_trip(gate_report):
+    payload = json.loads(gate_report.to_json(provenance=False))
+    assert payload["total_recovery_cycles"] == len(gate_report.cycles)
+    assert "provenance" not in payload
+    stamped = json.loads(gate_report.to_json())
+    assert "provenance" in stamped
+
+
+def test_render_summarises_the_campaign(gate_report):
+    text = gate_report.render()
+    assert "tier campaign: 20 episodes" in text
+    assert "recovery time by tier:" in text
+    assert "byte flow:" in text
+    assert "VIOLATION" not in text

@@ -93,6 +93,44 @@ def test_base2_checkpoint_time_close_to_base1(testbed_job):
     assert base2.stall_time < 0.05 * base1.stall_time
 
 
+def test_base2_breakdown_reconciles_along_the_critical_request(testbed_job):
+    """The persist phases are attributed along the request whose flow
+    finishes last, so the breakdown must sum exactly to checkpoint_time —
+    the old ``makespan - stall - max(serialize)`` split broke this
+    identity whenever the longest-serializing worker was not the one
+    whose transfer finished last."""
+    report = TwoPhaseEngine(testbed_job).save()
+    breakdown = report.breakdown
+    assert breakdown["serialize"] >= 0.0
+    assert breakdown["transfer_remote"] > 0.0
+    assert (
+        breakdown["snapshot_dtoh"]
+        + breakdown["serialize"]
+        + breakdown["transfer_remote"]
+    ) == pytest.approx(report.checkpoint_time, rel=1e-12)
+
+
+def test_base2_save_with_no_writers_does_not_raise(testbed_job, monkeypatch):
+    """Regression: an empty writer set used to crash on ``max()`` over
+    the empty serialize-time sequence; now it degenerates to a free
+    checkpoint."""
+    from repro.checkpoint.job import TrainingJob
+
+    engine = TwoPhaseEngine(testbed_job)
+    monkeypatch.setattr(TrainingJob, "writers", property(lambda self: []))
+    report = engine.save()
+    assert report.version == 1
+    assert report.stall_time == 0.0
+    assert report.checkpoint_time == 0.0
+    assert report.breakdown == {
+        "snapshot_dtoh": 0.0,
+        "serialize": 0.0,
+        "transfer_remote": 0.0,
+    }
+    assert report.bytes_dtoh == 0
+    assert report.bytes_to_remote == 0
+
+
 # ---------------------------------------------------------------------------
 # base3
 # ---------------------------------------------------------------------------

@@ -92,14 +92,44 @@ def test_tuner_holds_inside_band():
 
 def test_tuner_converges_under_stable_overhead_model():
     """With overhead = stall / (interval * iteration), the tuner settles
-    near the interval whose overhead matches the budget."""
+    near the interval whose overhead matches the budget.
+
+    The descent from a too-wide interval is *additive* (one iteration per
+    observation by default), so convergence from 100 takes ~100
+    observations — that slowness is the point of AIMD: narrow steps never
+    overshoot, so the controller cannot oscillate around the target.
+    """
     stall, iteration, budget = 0.7, 10.0, 0.035
     tuner = AdaptiveFrequencyTuner(interval=100, overhead_budget=budget)
-    for _ in range(60):
+    for _ in range(150):
         observed = stall / (tuner.interval * iteration)
         tuner.observe(observed)
     steady = stall / (budget * iteration)  # = 2.0
     assert tuner.interval <= 2 * steady + 1
+    # ... and it stays put: further observations oscillate by at most the
+    # additive step around the steady band.
+    settled = tuner.interval
+    for _ in range(20):
+        observed = stall / (tuner.interval * iteration)
+        tuner.observe(observed)
+    assert abs(tuner.interval - settled) <= 2
+
+
+def test_tuner_decrease_is_genuinely_additive():
+    """Pin the AIMD decrease: a fixed step, NOT proportional to the
+    current interval (interval // 10 would be multiplicative-down)."""
+    for start in (10, 100, 1000):
+        tuner = AdaptiveFrequencyTuner(interval=start, overhead_budget=0.035)
+        tuner.observe(0.0)
+        assert tuner.interval == start - 1
+    # A custom step is honoured literally, independent of scale.
+    tuner = AdaptiveFrequencyTuner(
+        interval=500, overhead_budget=0.035, additive_step=7
+    )
+    tuner.observe(0.0)
+    assert tuner.interval == 493
+    with pytest.raises(CheckpointError):
+        AdaptiveFrequencyTuner(interval=5, additive_step=0)
 
 
 def test_tuner_respects_clamps():

@@ -1,10 +1,14 @@
-"""Tests for host-memory and remote storage substrates."""
+"""Tests for host-memory, local-disk and remote storage substrates."""
 
 import numpy as np
 import pytest
 
 from repro.errors import CheckpointError
-from repro.checkpoint.storage import HostMemoryStore, RemoteStorage
+from repro.checkpoint.storage import (
+    HostMemoryStore,
+    LocalDiskStore,
+    RemoteStorage,
+)
 
 
 def test_host_put_get_round_trip():
@@ -75,3 +79,116 @@ def test_remote_copies_input():
     remote.put("k", data)
     data[0] = ord("z")
     assert remote.get("k") == b"abc"
+
+
+# ---------------------------------------------------------------------------
+# Incremental byte counters (O(1) node_bytes / total_bytes)
+# ---------------------------------------------------------------------------
+def test_host_overwrite_subtracts_old_value_bytes():
+    store = HostMemoryStore(1)
+    store.put(0, "k", np.zeros(100, dtype=np.uint8))
+    assert store.node_bytes(0) == 100
+    store.put(0, "k", np.zeros(7, dtype=np.uint8))  # overwrite, not add
+    assert store.node_bytes(0) == 7
+    assert store.total_bytes == 7
+
+
+def test_host_counters_track_delete_and_wipe():
+    store = HostMemoryStore(2)
+    store.put(0, "a", b"12345")
+    store.put(1, "b", b"123")
+    assert store.total_bytes == 8
+    store.delete(0, "a")
+    assert store.node_bytes(0) == 0
+    store.delete(0, "a")  # idempotent: second delete changes nothing
+    assert store.total_bytes == 3
+    store.wipe(1)
+    assert store.total_bytes == 0
+
+
+def test_host_counters_survive_many_operations():
+    """The incremental counters must equal a from-scratch recount."""
+    rng = np.random.default_rng(0)
+    store = HostMemoryStore(3)
+    live: dict[tuple[int, str], int] = {}
+    for step in range(200):
+        node = int(rng.integers(3))
+        key = f"k{int(rng.integers(10))}"
+        op = rng.random()
+        if op < 0.6:
+            size = int(rng.integers(1, 50))
+            store.put(node, key, bytes(size))
+            live[(node, key)] = size
+        elif op < 0.85:
+            store.delete(node, key)
+            live.pop((node, key), None)
+        else:
+            store.wipe(node)
+            live = {k: v for k, v in live.items() if k[0] != node}
+    for node in range(3):
+        assert store.node_bytes(node) == sum(
+            v for (n, _), v in live.items() if n == node
+        )
+    assert store.total_bytes == sum(live.values())
+
+
+# ---------------------------------------------------------------------------
+# Local-disk tier
+# ---------------------------------------------------------------------------
+def test_disk_round_trip_and_counters():
+    disk = LocalDiskStore(2)
+    disk.put(0, "chunk", np.arange(16, dtype=np.uint8))
+    assert disk.contains(0, "chunk")
+    assert disk.node_bytes(0) == 16
+    assert disk.total_bytes == 16
+    np.testing.assert_array_equal(
+        disk.get(0, "chunk"), np.arange(16, dtype=np.uint8)
+    )
+
+
+def test_disk_error_message_names_the_medium():
+    disk = LocalDiskStore(1)
+    with pytest.raises(CheckpointError, match="local disk"):
+        disk.get(0, "missing")
+    host = HostMemoryStore(1)
+    with pytest.raises(CheckpointError, match="host memory"):
+        host.get(0, "missing")
+
+
+def test_disk_wipe_models_machine_replacement():
+    disk = LocalDiskStore(2)
+    disk.put(0, "a", b"x")
+    disk.put(1, "b", b"y")
+    disk.wipe(0)  # replacement machine arrives with an empty disk
+    assert not disk.contains(0, "a")
+    assert disk.contains(1, "b")
+    assert disk.total_bytes == 1
+
+
+# ---------------------------------------------------------------------------
+# Remote delete / wipe
+# ---------------------------------------------------------------------------
+def test_remote_delete_returns_reclaimed_bytes():
+    remote = RemoteStorage()
+    remote.put("a", b"12345")
+    remote.put("b", b"123")
+    assert remote.delete("a") == 5
+    assert not remote.contains("a")
+    assert remote.total_bytes == 3
+    assert remote.delete("a") == 0  # idempotent
+
+
+def test_remote_wipe_clears_everything():
+    remote = RemoteStorage()
+    remote.put("a", b"12345")
+    remote.put("b", np.zeros(8, dtype=np.uint8))
+    remote.wipe()
+    assert remote.total_bytes == 0
+    assert remote.keys() == []
+
+
+def test_remote_overwrite_subtracts_old_value_bytes():
+    remote = RemoteStorage()
+    remote.put("k", b"123456789")
+    remote.put("k", b"12")
+    assert remote.total_bytes == 2

@@ -83,6 +83,28 @@ def test_vectorized_dirty_detection_matches_loop(size, block_size):
     assert np.array_equal(delta, old ^ new)
 
 
+def test_aligned_packets_skip_the_staging_copy(monkeypatch):
+    """A block-aligned delta must take the zero-copy reshape path: if it
+    ever allocates the zero-padded staging buffer the ragged path uses,
+    this test fails loudly."""
+    rng = np.random.default_rng(1)
+    old = rng.integers(0, 256, 8 * 64, dtype=np.uint8)
+    new = old.copy()
+    new[5] ^= 0xFF    # dirties block 0
+    new[300] ^= 0x01  # dirties block 4
+    expected = old ^ new
+
+    def no_staging(*args, **kwargs):
+        raise AssertionError("aligned delta must not allocate a staging copy")
+
+    monkeypatch.setattr(np, "zeros", no_staging)
+    delta, summary = packet_delta(old, new, block_size=64)
+    assert np.array_equal(delta, expected)
+    assert summary.total_blocks == 8
+    assert summary.dirty_blocks == 2
+    assert summary.dirty_bytes == 128
+
+
 def test_dirty_bytes_counts_short_tail_block():
     # 100 bytes, 64-byte blocks: a dirty final block holds only 36 bytes.
     old = np.zeros(100, dtype=np.uint8)

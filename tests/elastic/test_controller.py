@@ -144,6 +144,48 @@ def test_poll_spares_restocks_for_already_live_rank():
     assert controller.spare_pool.remaining == before + 1
 
 
+def test_crashed_join_requeues_remaining_spares():
+    """When the first join of a batch crashes mid-repair, the rest of the
+    batch's provisioned machines must go back to the pending queue (they
+    are still racked) and be admitted by the next poll — not lost, and
+    not double-dispensed."""
+    from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
+
+    job, engine, manager, controller = make_controller(pool_size=4)
+    states = checkpoint(job, manager)
+    version = engine.version
+    job.fail_nodes({1, 3})
+    controller.on_failure({1, 3}, 10.0)
+    pool = controller.spare_pool
+    assert len(pool.pending) == 2
+    dispensed_before = pool.dispensed
+    first = min(pool.pending, key=lambda r: r.ready_at).rank
+    (second,) = {1, 3} - {first}
+
+    injector = CrashInjector(CrashPlan(point="post_derive"))
+    with pytest.raises(InjectedCrash):
+        controller.poll_spares(1e9, repair_crash_injector=injector)
+
+    # The first rank joined (its repair is the one that crashed); the
+    # second rank's provisioned machine went back to the pending queue.
+    assert first not in controller.membership.dead
+    assert second in controller.membership.dead
+    assert [r.rank for r in pool.pending] == [second]
+    assert pool.dispensed == dispensed_before  # requeue, not re-dispense
+    assert controller.repair_ledger is not None
+    assert not controller.repair_ledger.committed
+
+    # The next poll admits the requeued machine and the repair commits.
+    assert controller.poll_spares(1e9) == [second]
+    assert not controller.degraded
+    assert not manager.degraded
+    assert check_eccheck_redundancy(engine, version) == []
+    job.fail_nodes(set(range(4)))
+    report = manager.on_failure(set())
+    assert report.version == version
+    assert not check_restored_states(job, states)
+
+
 def test_spare_refused_when_pool_exhausted():
     job, engine, manager, controller = make_controller(pool_size=0)
     checkpoint(job, manager)
