@@ -1,0 +1,164 @@
+"""Oracle-vs-engine differential testing, generalized for reuse.
+
+The chaos campaigns each hand-roll the same three-step dance around
+:func:`repro.chaos.invariants.expected_outcome`: consult the independent
+recoverability oracle *before* asking the engine to restore, run the
+restore, then compare what actually happened against the prediction.
+This module names that dance so multi-tenant campaigns can run one
+instance per tenant:
+
+* :func:`predict` wraps the tier-aware oracle into an
+  :class:`Expectation`;
+* :func:`judge` turns (expectation, observed outcome) into violation
+  strings — disagreement in *either* direction is a finding;
+* :class:`DifferentialHarness` keeps one engine's predict/observe cycle
+  and accumulates its violations, so a fleet holds a harness per tenant
+  and aggregates at report time.
+
+The oracle must run before ``restore`` is invoked: restoring wipes the
+failed nodes' host stores, and the oracle reads the same survivor state
+the engine will see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.invariants import expected_outcome
+
+#: Observed-outcome labels :func:`judge` understands.  The first four
+#: mirror the oracle's own vocabulary; ``"engine_error"`` flags an
+#: exception that is neither a clean refusal nor a recovery.
+OUTCOMES = ("memory", "disk", "backup", "refused", "engine_error")
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """What a correct engine must do for one failure, per the oracle.
+
+    ``kind`` is ``"memory"``, ``"disk"``, ``"backup"`` or ``"refused"``;
+    ``version`` the exact checkpoint the restore must land on (None when
+    refusing is correct).  ``failed`` records the failure set the
+    prediction was made for, so violation messages are self-describing.
+    """
+
+    kind: str
+    version: int | None
+    failed: tuple[int, ...] = ()
+
+    @property
+    def recoverable(self) -> bool:
+        return self.kind != "refused"
+
+
+def predict(engine, failed_nodes: set[int]) -> Expectation:
+    """Run the tier-aware recoverability oracle for ``failed_nodes``."""
+    kind, version = expected_outcome(engine, set(failed_nodes))
+    return Expectation(
+        kind=kind, version=version, failed=tuple(sorted(failed_nodes))
+    )
+
+
+def judge(
+    expectation: Expectation,
+    outcome: str,
+    version: int | None = None,
+    context: str = "",
+) -> list[str]:
+    """Compare an observed recovery against the oracle's prediction.
+
+    Args:
+        expectation: the pre-restore prediction from :func:`predict`.
+        outcome: one of :data:`OUTCOMES`.
+        version: the version the engine restored (None for refusals and
+            errors).
+        context: prefix for violation messages (e.g. a tenant name).
+
+    Returns:
+        Violation strings; empty when engine and oracle agree.
+    """
+    if outcome not in OUTCOMES:
+        raise ValueError(f"unknown outcome {outcome!r}")
+    prefix = f"{context}: " if context else ""
+    failed = list(expectation.failed)
+    if outcome == "engine_error":
+        return [
+            f"{prefix}recovery raised instead of "
+            f"{'refusing' if not expectation.recoverable else 'restoring v%s from %s' % (expectation.version, expectation.kind)}"
+            f" (failed={failed})"
+        ]
+    if outcome == "refused":
+        if expectation.recoverable:
+            return [
+                f"{prefix}refused recovery although v{expectation.version} "
+                f"was recoverable from {expectation.kind} (failed={failed})"
+            ]
+        return []
+    # The engine claims it recovered.
+    violations = []
+    if not expectation.recoverable:
+        violations.append(
+            f"{prefix}recovered v{version} from {outcome} although the "
+            f"oracle proves nothing was recoverable (failed={failed})"
+        )
+        return violations
+    if outcome != expectation.kind:
+        violations.append(
+            f"{prefix}recovered from {outcome}, oracle expected "
+            f"{expectation.kind} (failed={failed})"
+        )
+    if version != expectation.version:
+        violations.append(
+            f"{prefix}restored v{version}, oracle expected "
+            f"v{expectation.version} (failed={failed})"
+        )
+    return violations
+
+
+class DifferentialHarness:
+    """One engine's predict -> restore -> judge cycle, with accounting.
+
+    Usage per failure event::
+
+        expectation = harness.predict(failed_ranks)
+        try:
+            report = controller.on_failure(failed_ranks, t)
+        except RecoveryError:
+            harness.observe("refused")
+        else:
+            harness.observe(report.tier, report.version)
+
+    ``violations`` accumulates across the harness's lifetime; a fleet
+    campaign keeps one harness per tenant and folds the lists into the
+    episode report.
+    """
+
+    def __init__(self, engine, label: str = ""):
+        self.engine = engine
+        self.label = label
+        self.violations: list[str] = []
+        self.predictions = 0
+        self.last_expectation: Expectation | None = None
+
+    def predict(self, failed_nodes: set[int]) -> Expectation:
+        """Predict before restore; remembers the expectation."""
+        self.last_expectation = predict(self.engine, failed_nodes)
+        self.predictions += 1
+        return self.last_expectation
+
+    def observe(self, outcome: str, version: int | None = None) -> list[str]:
+        """Judge the observed outcome against the last prediction.
+
+        Returns (and accumulates) the new violations.
+
+        Raises:
+            ValueError: when no prediction preceded the observation.
+        """
+        if self.last_expectation is None:
+            raise ValueError("observe() without a preceding predict()")
+        found = judge(
+            self.last_expectation, outcome, version, context=self.label
+        )
+        self.violations.extend(found)
+        self.last_expectation = None
+        return found

@@ -154,6 +154,17 @@ class CheckpointManager:
             >= self.current_interval
         )
 
+    def backup_due(self) -> bool:
+        """True when the next committed save will also push a remote backup.
+
+        Lets a scheduler know *before* calling :meth:`step` that the save
+        is about to claim shared remote-store bandwidth, so arbitration
+        can be applied around it.
+        """
+        if not self.remote_backup_every:
+            return False
+        return (self.stats.checkpoints + 1) % self.remote_backup_every == 0
+
     def step(self) -> bool:
         """Call once per training iteration; checkpoints when due.
 
@@ -361,3 +372,103 @@ class CheckpointManager:
             )
             tracer.metrics.counter("manager.replacements").inc()
         return new_id
+
+
+class ScheduledJobDriver:
+    """Steps one manager's training loop from a shared event loop.
+
+    The single-job campaigns drive their ``(job, manager)`` pair with a
+    private Python ``for`` loop; a fleet runs hundreds of tenants off
+    *one* :class:`~repro.sim.events.Simulator`, so the per-job loop
+    becomes a chain of scheduler callbacks: each tick advances the job
+    one iteration, lets the manager checkpoint when due, and schedules
+    the next tick after the iteration time plus any checkpoint stall.
+
+    A driver can be paused (failure handling, blocked checkpointing) and
+    resumed; ``iterations_run`` counts *effort* (ticks executed), while
+    the job's own ``iteration`` reflects work surviving rollbacks — the
+    gap is exactly the manager's ``iterations_lost``.
+
+    Hooks (all optional) let a fleet scheduler wrap arbitration around
+    the save without the driver knowing about bandwidth at all:
+
+    * ``pre_save(driver)`` — called just before a *due* save; its return
+      value is an opaque token;
+    * ``post_save(driver, token, report)`` — called after the save with
+      that token and the :class:`SaveReport` (None if no save landed);
+    * ``on_done(driver)`` — called once ``max_iterations`` ticks ran.
+
+    A 1-tenant fleet reduces to the classic loop exactly: the driver's
+    tick body is ``job.advance(); manager.step()``, the same sequence
+    every existing CLI runs inline.
+    """
+
+    def __init__(
+        self,
+        sim,
+        manager: CheckpointManager,
+        iteration_s: float,
+        max_iterations: int,
+        pre_save=None,
+        post_save=None,
+        on_done=None,
+    ):
+        if iteration_s <= 0:
+            raise CheckpointError(
+                f"iteration_s must be positive, got {iteration_s}"
+            )
+        if max_iterations < 1:
+            raise CheckpointError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
+        self.sim = sim
+        self.manager = manager
+        self.job = manager.job
+        self.iteration_s = iteration_s
+        self.max_iterations = max_iterations
+        self.pre_save = pre_save
+        self.post_save = post_save
+        self.on_done = on_done
+        self.iterations_run = 0
+        self.done = False
+        self.paused = False
+        self._handle = None
+
+    def start(self, delay: float = 0.0) -> None:
+        """Schedule the first tick ``delay`` seconds from now."""
+        self._handle = self.sim.schedule(delay, self._tick)
+
+    def pause(self) -> None:
+        """Cancel the next tick; the driver holds until :meth:`resume`."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self.paused = True
+
+    def resume(self, delay: float = 0.0) -> None:
+        """Reschedule ticking ``delay`` seconds from now (no-op if done)."""
+        if self.done or not self.paused:
+            return
+        self.paused = False
+        self._handle = self.sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        self._handle = None
+        if self.done or self.paused:
+            return
+        self.job.advance()
+        self.iterations_run += 1
+        token = None
+        if self.manager.due() and self.pre_save is not None:
+            token = self.pre_save(self)
+        saved = self.manager.step()
+        report = self.manager.stats.save_reports[-1] if saved else None
+        if token is not None and self.post_save is not None:
+            self.post_save(self, token, report)
+        stall = report.stall_time if report is not None else 0.0
+        if self.iterations_run >= self.max_iterations:
+            self.done = True
+            if self.on_done is not None:
+                self.on_done(self)
+            return
+        self._handle = self.sim.schedule(self.iteration_s + stall, self._tick)

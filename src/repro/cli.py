@@ -169,6 +169,48 @@ def build_parser() -> argparse.ArgumentParser:
         "trace summaries to the report",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-tenant fleet campaign: hundreds of jobs on one shared "
+        "event loop with admission control, bandwidth arbitration, "
+        "correlated failure domains and a fleet-wide spare pool",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=50, help="tenants per episode"
+    )
+    fleet.add_argument(
+        "--episodes", type=int, default=1, help="number of seeded episodes"
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fleet.add_argument(
+        "--arbitration",
+        choices=("fair", "priority"),
+        default="fair",
+        help="shared-bandwidth arbitration policy",
+    )
+    fleet.add_argument(
+        "--slots", type=int, default=64, help="machine slots in the fleet"
+    )
+    fleet.add_argument(
+        "--spares", type=int, default=6, help="initial fleet spare inventory"
+    )
+    fleet.add_argument(
+        "--duration-hours",
+        type=float,
+        default=8.0,
+        help="failure-trace horizon in simulated hours",
+    )
+    fleet.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the jobs-vs-wall-clock scaling curve (CI smoke mode)",
+    )
+    fleet.add_argument(
+        "--output",
+        default="FLEET_report.json",
+        help="JSON campaign report path ('' to skip writing)",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run a traced checkpoint job; emit a JSONL trace plus a "
@@ -348,6 +390,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _chaos(args, out)
     if args.command == "elastic":
         return _elastic(args, out)
+    if args.command == "fleet":
+        return _fleet(args, out)
     if args.command == "trace":
         return _trace(args, out)
     if args.command == "export-trace":
@@ -440,6 +484,33 @@ def _elastic(args, out) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.output}", file=out)
+    return 1 if report.violations else 0
+
+
+def _fleet(args, out) -> int:
+    """Run a fleet campaign; exit 0 iff no invariant was violated."""
+    from repro.fleet import FleetConfig, run_fleet_campaign, run_scaling_curve
+
+    config = FleetConfig(
+        jobs=args.jobs,
+        episodes=args.episodes,
+        seed=args.seed,
+        arbitration=args.arbitration,
+        fleet_slots=args.slots,
+        spares=args.spares,
+        duration_hours=args.duration_hours,
+    )
+    report = run_fleet_campaign(config)
+    if not args.no_scaling and args.jobs >= 4:
+        report.scaling = run_scaling_curve(config)
+    print(report.render(), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.output}", file=out)
+    if report.sub_quadratic is False:
+        print("scaling curve is not sub-quadratic", file=out)
+        return 1
     return 1 if report.violations else 0
 
 

@@ -1,0 +1,40 @@
+"""Fleet-scale multi-tenant control plane.
+
+Many concurrent training jobs over one shared simulated fleet: slot
+admission, fair-share/priority bandwidth arbitration, correlated
+rack/switch/power failure domains, a fleet-wide spare pool with
+starvation accounting, and per-tenant oracle-judged recoveries — all
+driven by a single discrete-event loop.
+"""
+
+from repro.fleet.campaign import (
+    FleetConfig,
+    FleetEpisodeResult,
+    FleetReport,
+    aggregate_slos,
+    run_fleet_campaign,
+    run_fleet_episode,
+    run_scaling_curve,
+    sample_tenant_specs,
+)
+from repro.fleet.scheduler import AdmissionQueue, FleetScheduler
+from repro.fleet.spec import DOMAIN_KINDS, FleetSpec, TenantSpec
+from repro.fleet.tenant import TenantRuntime, TenantSpareView
+
+__all__ = [
+    "AdmissionQueue",
+    "DOMAIN_KINDS",
+    "FleetConfig",
+    "FleetEpisodeResult",
+    "FleetReport",
+    "FleetScheduler",
+    "FleetSpec",
+    "TenantRuntime",
+    "TenantSpareView",
+    "TenantSpec",
+    "aggregate_slos",
+    "run_fleet_campaign",
+    "run_fleet_episode",
+    "run_scaling_curve",
+    "sample_tenant_specs",
+]

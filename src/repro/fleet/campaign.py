@@ -1,0 +1,422 @@
+"""The fleet campaign: seeded multi-tenant episodes and the scaling curve.
+
+One *episode* builds a :class:`~repro.fleet.scheduler.FleetScheduler`
+over the configured fleet, samples a tenant mix (shapes, cadences,
+weights, priorities, backup/tier policies) from
+``default_rng([seed, episode])``, submits the tenants with Poisson
+inter-arrivals, and runs the shared event loop to completion — through
+correlated domain failures, per-tenant oracle-judged recoveries, spare
+contention and admission queueing.  The report aggregates per-tenant
+SLOs (``degraded_seconds``, ``time_to_full_redundancy``,
+``iterations_lost``, admission and spare waits) across the fleet.
+
+Determinism contract: :meth:`FleetReport.to_dict` is provenance- and
+wall-clock-free, so two same-seed runs serialize byte-identically;
+wall-clock measurements (the scaling curve's point timings) ride in the
+``timing`` section :meth:`FleetReport.to_json` adds alongside the
+provenance stamp.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.spec import FleetSpec, TenantSpec
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Campaign parameters (defaults = the CI smoke shape, scaled up)."""
+
+    jobs: int = 50
+    episodes: int = 1
+    seed: int = 0
+    arbitration: str = "fair"
+    fleet_slots: int = 64
+    slots_per_rack: int = 4
+    racks_per_switch: int = 2
+    switches_per_power: int = 2
+    spares: int = 6
+    spare_median_delay_s: float = 120.0
+    depot_median_delay_s: float = 900.0
+    cross_rack_gbps: float = 200.0
+    mtbf_node_hours: float = 25.0
+    mtbf_rack_hours: float = 250.0
+    mtbf_switch_hours: float = 1500.0
+    mtbf_power_hours: float = 8000.0
+    duration_hours: float = 8.0
+    mean_interarrival_s: float = 45.0
+    model: str = "gpt2-h1024-L16"
+    scale: float = 5e-5
+
+    def fleet_spec(self) -> FleetSpec:
+        return FleetSpec(
+            num_slots=self.fleet_slots,
+            slots_per_rack=self.slots_per_rack,
+            racks_per_switch=self.racks_per_switch,
+            switches_per_power=self.switches_per_power,
+        )
+
+    def mtbf_hours(self) -> dict[str, float]:
+        return {
+            "node": self.mtbf_node_hours,
+            "rack": self.mtbf_rack_hours,
+            "switch": self.mtbf_switch_hours,
+            "power": self.mtbf_power_hours,
+        }
+
+
+@dataclass
+class FleetEpisodeResult:
+    """One episode's tenant SLOs, membership cycles and violations."""
+
+    episode: int
+    tenants: list[dict] = field(default_factory=list)
+    cycles: list[dict] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    starvation: dict = field(default_factory=dict)
+    sim_seconds: float = 0.0
+    events_processed: int = 0
+
+
+def aggregate_slos(tenants: list[dict]) -> dict:
+    """Fleet-level roll-up of the per-tenant SLO records."""
+    def stats(values: list[float]) -> dict:
+        if not values:
+            return {"total": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "total": round(sum(values), 6),
+            "mean": round(sum(values) / len(values), 6),
+            "max": round(max(values), 6),
+        }
+
+    by_state: dict[str, int] = {}
+    for t in tenants:
+        by_state[t["state"]] = by_state.get(t["state"], 0) + 1
+    ttfr = [x for t in tenants for x in t.get("time_to_full_redundancy", [])]
+    return {
+        "jobs": len(tenants),
+        "states": {k: by_state[k] for k in sorted(by_state)},
+        "degraded_seconds": stats(
+            [t.get("degraded_seconds", 0.0) for t in tenants]
+        ),
+        "time_to_full_redundancy": {
+            "count": len(ttfr),
+            **{k: v for k, v in stats(ttfr).items() if k != "total"},
+        },
+        "iterations_lost": stats(
+            [float(t.get("iterations_lost", 0)) for t in tenants]
+        ),
+        "admission_wait_s": stats(
+            [t.get("admission_wait_s", 0.0) for t in tenants]
+        ),
+        "checkpoints": int(
+            sum(t.get("checkpoints", 0) for t in tenants)
+        ),
+        "remote_backups": int(
+            sum(t.get("remote_backups", 0) for t in tenants)
+        ),
+        "recoveries": int(sum(t.get("recoveries", 0) for t in tenants)),
+        "failure_events": int(
+            sum(t.get("failure_events", 0) for t in tenants)
+        ),
+    }
+
+
+@dataclass
+class FleetReport:
+    """All episodes plus the (optional) jobs-vs-wall-clock scaling curve."""
+
+    config: FleetConfig
+    episodes: list[FleetEpisodeResult]
+    #: Scaling-curve points: ``{"jobs", "sim_seconds", "events",
+    #: "wall_s"}``.  ``wall_s`` is non-deterministic and therefore
+    #: excluded from :meth:`to_dict`; it rides in the ``timing`` section
+    #: of :meth:`to_json`.
+    scaling: list[dict] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"episode {e.episode}: {v}"
+            for e in self.episodes
+            for v in e.violations
+        ]
+
+    def aggregates(self) -> dict:
+        return aggregate_slos(
+            [t for e in self.episodes for t in e.tenants]
+        )
+
+    # ------------------------------------------------------------------
+    def scaling_exponent(self) -> float | None:
+        """Least-squares slope of log(wall) vs log(jobs); None if < 2 pts."""
+        points = [
+            p for p in self.scaling if p.get("wall_s", 0) > 0 and p["jobs"] > 0
+        ]
+        if len(points) < 2:
+            return None
+        xs = [math.log(p["jobs"]) for p in points]
+        ys = [math.log(p["wall_s"]) for p in points]
+        n = len(points)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        denom = sum((x - mean_x) ** 2 for x in xs)
+        if denom == 0:
+            return None
+        return sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / denom
+
+    @property
+    def sub_quadratic(self) -> bool | None:
+        """True when wall-clock grows sub-quadratically in job count."""
+        exponent = self.scaling_exponent()
+        if exponent is None:
+            return None
+        return exponent < 2.0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form, deliberately provenance- and wall-clock-free
+        (determinism tests compare two runs by byte equality);
+        :meth:`to_json` adds the stamp and timings."""
+        return {
+            "config": {
+                "jobs": self.config.jobs,
+                "episodes": self.config.episodes,
+                "seed": self.config.seed,
+                "arbitration": self.config.arbitration,
+                "fleet_slots": self.config.fleet_slots,
+                "slots_per_rack": self.config.slots_per_rack,
+                "racks_per_switch": self.config.racks_per_switch,
+                "switches_per_power": self.config.switches_per_power,
+                "spares": self.config.spares,
+                "duration_hours": self.config.duration_hours,
+                "mean_interarrival_s": self.config.mean_interarrival_s,
+                "model": self.config.model,
+                "scale": self.config.scale,
+            },
+            "aggregates": self.aggregates(),
+            "violations": self.violations,
+            "episodes": [
+                {
+                    "episode": e.episode,
+                    "tenants": e.tenants,
+                    "cycles": e.cycles,
+                    "violations": e.violations,
+                    "starvation": e.starvation,
+                    "sim_seconds": round(e.sim_seconds, 6),
+                    "events_processed": e.events_processed,
+                }
+                for e in self.episodes
+            ],
+            "scaling": [
+                {k: v for k, v in point.items() if k != "wall_s"}
+                for point in self.scaling
+            ],
+        }
+
+    def to_json(self, provenance: bool = True) -> str:
+        """JSON form for ``FLEET_report.json``, provenance-stamped."""
+        payload = self.to_dict()
+        if provenance:
+            from repro.obs.provenance import provenance_stamp
+
+            payload["provenance"] = provenance_stamp()
+            payload["timing"] = {
+                "scaling_wall_s": [
+                    {"jobs": p["jobs"], "wall_s": round(p["wall_s"], 3)}
+                    for p in self.scaling
+                ],
+                "scaling_exponent": self.scaling_exponent(),
+            }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """ASCII summary: fleet aggregates, starvation, scaling curve."""
+        agg = self.aggregates()
+        lines = [
+            f"fleet campaign: {len(self.episodes)} episode(s) x "
+            f"{self.config.jobs} jobs on {self.config.fleet_slots} slots "
+            f"({self.config.arbitration} arbitration), "
+            f"{len(self.violations)} violations",
+            f"  states: "
+            + ", ".join(f"{k}={v}" for k, v in agg["states"].items()),
+            f"  degraded_seconds: total={agg['degraded_seconds']['total']:.1f} "
+            f"mean={agg['degraded_seconds']['mean']:.1f} "
+            f"max={agg['degraded_seconds']['max']:.1f}",
+            f"  time_to_full_redundancy: count={agg['time_to_full_redundancy']['count']} "
+            f"mean={agg['time_to_full_redundancy']['mean']:.1f}s "
+            f"max={agg['time_to_full_redundancy']['max']:.1f}s",
+            f"  iterations_lost: total={agg['iterations_lost']['total']:.0f} "
+            f"max={agg['iterations_lost']['max']:.0f}",
+            f"  admission_wait_s: mean={agg['admission_wait_s']['mean']:.1f} "
+            f"max={agg['admission_wait_s']['max']:.1f}",
+            f"  checkpoints={agg['checkpoints']} "
+            f"remote_backups={agg['remote_backups']} "
+            f"recoveries={agg['recoveries']}",
+        ]
+        for episode in self.episodes:
+            if episode.starvation:
+                queued = sum(
+                    row["queued_grants"]
+                    for row in episode.starvation.values()
+                )
+                worst = max(
+                    row["max_queued_s"] for row in episode.starvation.values()
+                )
+                lines.append(
+                    f"  episode {episode.episode} spare starvation: "
+                    f"{queued} queued grants, worst wait {worst:.0f}s"
+                )
+        if self.scaling:
+            for point in self.scaling:
+                lines.append(
+                    f"  scaling: {point['jobs']:>4d} jobs -> "
+                    f"{point.get('wall_s', 0.0):6.2f}s wall, "
+                    f"{point['events']} events, "
+                    f"{point['sim_seconds']:.0f} sim-s"
+                )
+            exponent = self.scaling_exponent()
+            if exponent is not None:
+                verdict = "sub-quadratic" if exponent < 2.0 else "SUPER-QUADRATIC"
+                lines.append(
+                    f"  scaling exponent: {exponent:.2f} ({verdict})"
+                )
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def sample_tenant_specs(
+    config: FleetConfig, episode: int, jobs: int, rng: np.random.Generator
+) -> list[tuple[float, TenantSpec]]:
+    """The episode's tenant mix: (submit_time, spec) pairs, time-ordered.
+
+    Every knob is drawn from the episode rng, so the mix is part of the
+    campaign's determinism contract.
+    """
+    specs: list[tuple[float, TenantSpec]] = []
+    t = 0.0
+    for index in range(jobs):
+        if index:
+            t += float(rng.exponential(config.mean_interarrival_s))
+        # k must divide the tenant's world size (8); the two admissible
+        # 4-node splits trade parity budget against encode cost.
+        k, m = (2, 2) if rng.random() < 0.7 else (1, 3)
+        spec = TenantSpec(
+            name=f"job-{episode:03d}-{index:04d}",
+            k=k,
+            m=m,
+            model=config.model,
+            scale=config.scale,
+            seed=config.seed * 7919 + episode * 653 + index,
+            interval=int(rng.integers(1, 4)),
+            iteration_s=float(rng.uniform(20.0, 40.0)),
+            iterations=int(rng.integers(10, 23)),
+            weight=float(rng.choice([1.0, 2.0, 4.0])),
+            priority=int(rng.choice([0, 0, 0, 1])),
+            remote_backup_every=int(rng.choice([0, 2, 3])),
+            tier_memory_versions=int(rng.choice([0, 2])),
+        )
+        specs.append((t, spec))
+    return specs
+
+
+def run_fleet_episode(
+    episode: int, config: FleetConfig, jobs: int | None = None
+) -> FleetEpisodeResult:
+    """One seeded fleet episode over ``jobs`` tenants.
+
+    The cyclic garbage collector is paused for the duration of the
+    episode: the save path is allocation-heavy (every checkpoint copies
+    hundreds of shard arrays) and generational scans grow with the live
+    heap, so at fleet concurrency GC inflates per-save wall clock ~20%.
+    Episode teardown frees tenants deterministically (``release()``), so
+    one collect at exit reclaims the cycles.
+    """
+    jobs = config.jobs if jobs is None else jobs
+    rng = np.random.default_rng([config.seed, episode])
+    scheduler = FleetScheduler(
+        config.fleet_spec(),
+        seed=(config.seed, episode),
+        arbitration=config.arbitration,
+        spares=config.spares,
+        spare_median_delay_s=config.spare_median_delay_s,
+        depot_median_delay_s=config.depot_median_delay_s,
+        cross_rack_gbps=config.cross_rack_gbps,
+        mtbf_hours=config.mtbf_hours(),
+        duration_hours=config.duration_hours,
+    )
+    for submit_at, spec in sample_tenant_specs(config, episode, jobs, rng):
+        scheduler.sim.schedule(
+            submit_at, lambda s=spec: scheduler.submit(s)
+        )
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        scheduler.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    result = FleetEpisodeResult(episode=episode)
+    result.tenants = [
+        scheduler.slo_records[name]
+        for name in sorted(scheduler.slo_records)
+    ]
+    result.cycles = scheduler.cycles
+    result.violations = scheduler.violations
+    result.starvation = scheduler.pool.starvation_summary()
+    result.sim_seconds = scheduler.sim.now
+    result.events_processed = scheduler.sim.processed
+    return result
+
+
+def run_fleet_campaign(config: FleetConfig | None = None) -> FleetReport:
+    """Run ``config.episodes`` fleet episodes."""
+    config = config or FleetConfig()
+    episodes = [
+        run_fleet_episode(episode, config)
+        for episode in range(config.episodes)
+    ]
+    return FleetReport(config=config, episodes=episodes)
+
+
+def run_scaling_curve(
+    config: FleetConfig, points: list[int] | None = None
+) -> list[dict]:
+    """Measure wall-clock vs job count on single fresh episodes.
+
+    Each point runs episode 0 of the same config with a different job
+    count and records wall seconds plus the deterministic loop stats.
+    The default points are ``jobs/4, jobs/2, jobs``.
+    """
+    if points is None:
+        points = sorted(
+            {max(1, config.jobs // 4), max(1, config.jobs // 2), config.jobs}
+        )
+    curve = []
+    for jobs in points:
+        started = time.perf_counter()
+        result = run_fleet_episode(0, config, jobs=jobs)
+        wall = time.perf_counter() - started
+        curve.append(
+            {
+                "jobs": jobs,
+                "sim_seconds": round(result.sim_seconds, 6),
+                "events": result.events_processed,
+                "violations": len(result.violations),
+                "wall_s": wall,
+            }
+        )
+    return curve

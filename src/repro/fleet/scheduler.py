@@ -1,0 +1,539 @@
+"""The fleet scheduler: many tenants, one event loop, shared resources.
+
+One :class:`FleetScheduler` owns the shared
+:class:`~repro.sim.events.Simulator` and four fleet-wide resources:
+
+* **slots** — machine positions tenants lease (see
+  :class:`~repro.fleet.spec.FleetSpec`); admission is strict
+  priority-then-FIFO with head-of-line blocking, so an admissible
+  tenant's wait is bounded by the demands queued ahead of it;
+* **remote-store bandwidth** — a
+  :class:`~repro.sim.network.BandwidthArbiter` over the storage
+  aggregate pipe; a tenant claims it for the duration of each remote
+  backup (and backup restore), and runs the transfer against a
+  :meth:`~repro.sim.network.TimeModel.with_shared_bottleneck` model
+  carrying its granted share;
+* **cross-rack trunk bandwidth** — a second arbiter for tenants whose
+  slots span racks, squeezing their inter-node checkpoint traffic;
+* **spares** — one fleet-wide :class:`~repro.sim.spares.SparePool` every
+  tenant's elastic controller draws from (queued when exhausted, with
+  starvation accounting).
+
+Failures arrive as correlated *domain* events
+(:func:`~repro.sim.failures.domain_failure_trace`): one event takes down
+every live slot in a rack/switch/power domain, across every tenant
+scheduled onto it.  Each affected tenant's recovery is judged by its own
+:class:`~repro.chaos.differential.DifferentialHarness` against the
+tier-aware oracle; disagreement in either direction is a violation.
+
+Per-job training loops are :class:`~repro.checkpoint.manager.ScheduledJobDriver`
+callbacks on the shared loop — a 1-tenant fleet runs the exact sequence
+the single-job CLIs run inline.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.chaos.invariants import check_restored_states
+from repro.errors import RecoveryError, SimulationError
+from repro.checkpoint.manager import ScheduledJobDriver
+from repro.fleet.spec import FleetSpec, TenantSpec
+from repro.fleet.tenant import TenantRuntime
+from repro.sim.events import Simulator
+from repro.sim.failures import domain_failure_trace
+from repro.sim.network import BandwidthArbiter, TimeModel, gbps
+from repro.sim.spares import SparePool
+
+
+class AdmissionQueue:
+    """Strict priority-then-FIFO admission with head-of-line blocking.
+
+    Only the head may be admitted; a head that does not fit blocks
+    everyone behind it.  That forgoes backfilling throughput for a
+    bounded-wait guarantee: with equal priorities a tenant's wait
+    depends only on the finite demands queued ahead of it, never on
+    later arrivals (the property suite pins this).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, TenantSpec]] = []
+        self._seq = 0
+
+    def push(self, spec: TenantSpec) -> None:
+        heapq.heappush(self._heap, (-spec.priority, self._seq, spec))
+        self._seq += 1
+
+    def head(self) -> TenantSpec | None:
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> TenantSpec:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class FleetScheduler:
+    """Runs a tenant mix over one shared simulated fleet.
+
+    Args:
+        fleet: slot/domain topology.
+        seed: integer sequence; every internal stream derives from it.
+        arbitration: ``"fair"`` or ``"priority"`` (both arbiters).
+        time_model: baseline (unshared) time model for every tenant.
+        spares: initial fleet-wide spare inventory.
+        spare_median_delay_s / spare_sigma: provisioning delay shape.
+        depot_median_delay_s: median time a failed machine spends at the
+            depot before returning to inventory (or a freed slot being
+            re-racked).
+        cross_rack_gbps: aggregate cross-rack trunk capacity.
+        mtbf_hours: domain class -> MTBF per domain; empty disables
+            failures.
+        duration_hours: failure-trace horizon.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        seed=(0,),
+        arbitration: str = "fair",
+        time_model: TimeModel | None = None,
+        spares: int = 6,
+        spare_median_delay_s: float = 120.0,
+        spare_sigma: float = 0.4,
+        depot_median_delay_s: float = 900.0,
+        cross_rack_gbps: float = 200.0,
+        mtbf_hours: dict[str, float] | None = None,
+        duration_hours: float = 8.0,
+    ):
+        self.fleet = fleet
+        self.sim = Simulator()
+        self.base_time_model = time_model or TimeModel()
+        self.remote_arbiter = BandwidthArbiter(
+            gbps(self.base_time_model.remote_storage_gbps), mode=arbitration
+        )
+        self.trunk_arbiter = BandwidthArbiter(
+            gbps(cross_rack_gbps), mode=arbitration
+        )
+        self.cross_rack_gbps = cross_rack_gbps
+        seed = tuple(int(s) for s in (seed if hasattr(seed, "__len__") else (seed,)))
+        self.pool = SparePool(
+            size=spares,
+            median_delay_s=spare_median_delay_s,
+            sigma=spare_sigma,
+            rng=np.random.default_rng([*seed, 1]),
+            queue_when_exhausted=True,
+        )
+        self.depot_rng = np.random.default_rng([*seed, 2])
+        self.depot_median_delay_s = depot_median_delay_s
+        self.queue = AdmissionQueue()
+        self.tenants: dict[str, TenantRuntime] = {}
+        self.slo_records: dict[str, dict] = {}
+        self.cycles: list[dict] = []
+        self.violations: list[str] = []
+        self.free_slots: list[int] = list(range(fleet.num_slots))
+        self.down_slots: set[int] = set()
+        self.slot_owner: dict[int, str] = {}
+        self.submitted: dict[str, float] = {}
+        self._finalized: list[str] = []
+        trace_rng = np.random.default_rng([*seed, 0])
+        mtbf_hours = mtbf_hours or {}
+        self.failure_trace = domain_failure_trace(
+            fleet.domain_counts(), mtbf_hours, duration_hours, trace_rng
+        ) if mtbf_hours else []
+        for event in self.failure_trace:
+            self.sim.schedule(
+                event.time * 3600.0,
+                lambda e=event: self._on_domain_event(e),
+            )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, spec: TenantSpec) -> None:
+        """Enqueue a tenant at the current simulated time."""
+        if spec.name in self.submitted:
+            raise SimulationError(f"duplicate tenant {spec.name!r}")
+        self.submitted[spec.name] = self.sim.now
+        self.queue.push(spec)
+        self._try_admit()
+
+    def _try_admit(self) -> None:
+        while True:
+            head = self.queue.head()
+            if head is None or head.nodes > len(self.free_slots):
+                return
+            self._admit(self.queue.pop())
+
+    def _admit(self, spec: TenantSpec) -> None:
+        self.free_slots.sort()
+        slots = self.free_slots[: spec.nodes]
+        del self.free_slots[: spec.nodes]
+        tenant = TenantRuntime(
+            spec,
+            self.pool,
+            slots,
+            submitted_at=self.submitted[spec.name],
+            admitted_at=self.sim.now,
+        )
+        for slot in slots:
+            self.slot_owner[slot] = spec.name
+        self.tenants[spec.name] = tenant
+        # Initial checkpoint at admission (the paper's ``initialize``):
+        # a tenant is never live without at least one committed version.
+        tenant.manager.step()
+        tenant.record_saves()
+        driver = ScheduledJobDriver(
+            self.sim,
+            tenant.manager,
+            iteration_s=spec.iteration_s,
+            max_iterations=spec.iterations,
+            pre_save=lambda d, name=spec.name: self._pre_save(name),
+            post_save=lambda d, token, report, name=spec.name: (
+                self._post_save(name, token, report)
+            ),
+            on_done=lambda d, name=spec.name: self._on_tenant_done(name),
+        )
+        tenant.driver = driver
+        driver.start(spec.iteration_s)
+        self.cycles.append(
+            {
+                "kind": "admit",
+                "tenant": spec.name,
+                "t": round(self.sim.now, 6),
+                "slots": slots,
+                "wait_s": round(self.sim.now - self.submitted[spec.name], 6),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Save-path arbitration (ScheduledJobDriver hooks)
+    # ------------------------------------------------------------------
+    def _spans_racks(self, tenant: TenantRuntime) -> bool:
+        racks = {self.fleet.rack_of(s) for s in tenant.slots.values()}
+        return len(racks) > 1
+
+    def _apply_time_model(self, tenant: TenantRuntime, tm: TimeModel) -> None:
+        tenant.job.time_model = tm
+        tenant.engine.network.time_model = tm
+
+    def _acquire_shares(
+        self, tenant: TenantRuntime, want_remote: bool
+    ) -> tuple[list[BandwidthArbiter], TimeModel]:
+        """Claim the shared bottlenecks a transfer phase will touch.
+
+        Returns the held arbiters and the share-scaled time model.
+        """
+        spec = tenant.spec
+        held: list[BandwidthArbiter] = []
+        remote_share = 1.0
+        inter_share = 1.0
+        if want_remote:
+            if spec.name in self.remote_arbiter.claims:
+                self.remote_arbiter.release(spec.name)
+            claim = self.remote_arbiter.acquire(
+                spec.name, weight=spec.weight, priority=spec.priority
+            )
+            held.append(self.remote_arbiter)
+            remote_share = claim.fraction
+        if self._spans_racks(tenant):
+            if spec.name in self.trunk_arbiter.claims:
+                self.trunk_arbiter.release(spec.name)
+            claim = self.trunk_arbiter.acquire(
+                spec.name, weight=spec.weight, priority=spec.priority
+            )
+            held.append(self.trunk_arbiter)
+            # The tenant's NIC-level bandwidth is capped by its granted
+            # slice of the trunk.
+            trunk_gbps = claim.fraction * self.cross_rack_gbps
+            inter_share = min(
+                1.0, trunk_gbps / self.base_time_model.inter_node_gbps
+            )
+        tm = self.base_time_model.with_shared_bottleneck(
+            remote_share=remote_share, inter_node_share=inter_share
+        )
+        return held, tm
+
+    def _release_shares(
+        self, tenant: TenantRuntime, held: list[BandwidthArbiter]
+    ) -> None:
+        for arbiter in held:
+            if tenant.spec.name in arbiter.claims:
+                arbiter.release(tenant.spec.name)
+
+    def _pre_save(self, name: str):
+        tenant = self.tenants[name]
+        held, tm = self._acquire_shares(
+            tenant, want_remote=tenant.manager.backup_due()
+        )
+        self._apply_time_model(tenant, tm)
+        return held or True  # a token the driver always hands back
+
+    def _post_save(self, name: str, token, report) -> None:
+        tenant = self.tenants[name]
+        self._apply_time_model(tenant, self.base_time_model)
+        tenant.record_saves()
+        if token is True:
+            return
+        # Hold the claims for the save's full durability window, so
+        # overlapping tenants contend; then release and rebalance.
+        hold = report.checkpoint_time if report is not None else 0.0
+        self.sim.schedule(hold, lambda: self._release_shares(tenant, token))
+
+    # ------------------------------------------------------------------
+    # Correlated failures
+    # ------------------------------------------------------------------
+    def _depot_delay(self) -> float:
+        from repro.sim.spares import sample_replacement_delay
+
+        return sample_replacement_delay(
+            self.depot_rng, self.depot_median_delay_s, 0.4
+        )
+
+    def _on_domain_event(self, event) -> None:
+        slots = [
+            s
+            for s in self.fleet.slots_of(event.kind, event.index)
+            if s not in self.down_slots
+        ]
+        if not slots:
+            return
+        by_tenant: dict[str, set[int]] = {}
+        for slot in slots:
+            self.down_slots.add(slot)
+            owner = self.slot_owner.get(slot)
+            if owner is None:
+                # A free slot's machine died: repair in place, then the
+                # slot rejoins the free list.
+                if slot in self.free_slots:
+                    self.free_slots.remove(slot)
+                self.sim.schedule(
+                    self._depot_delay(), lambda s=slot: self._on_slot_repaired(s)
+                )
+            else:
+                by_tenant.setdefault(owner, set()).add(slot)
+                # The dead machine returns to fleet inventory after the
+                # depot turnaround; its slot position is refilled by the
+                # tenant's spare join.
+                self.sim.schedule(
+                    self._depot_delay(), lambda: self._on_depot_return()
+                )
+        self.cycles.append(
+            {
+                "kind": "domain_failure",
+                "domain": f"{event.kind}{event.index}",
+                "t": round(self.sim.now, 6),
+                "slots": len(slots),
+                "tenants": sorted(by_tenant),
+            }
+        )
+        for name in sorted(by_tenant):
+            tenant = self.tenants.get(name)
+            if tenant is None or tenant.state != "running":
+                continue
+            ranks = tenant.ranks_of_slots(by_tenant[name])
+            self._handle_tenant_failure(tenant, ranks, event)
+
+    def _on_slot_repaired(self, slot: int) -> None:
+        self.down_slots.discard(slot)
+        if self.slot_owner.get(slot) is None:
+            self.free_slots.append(slot)
+            self._try_admit()
+
+    def _on_depot_return(self) -> None:
+        promoted = self.pool.restock(1, self.sim.now)
+        self._schedule_polls(promoted)
+
+    def _schedule_polls(self, requests) -> None:
+        for request in requests:
+            if request.tenant is None:
+                continue
+            self.sim.schedule_at(
+                request.ready_at,
+                lambda name=request.tenant: self._poll_tenant(name),
+            )
+
+    def _handle_tenant_failure(self, tenant, ranks: set[int], event) -> None:
+        name = tenant.spec.name
+        tenant.failure_events += 1
+        driver = tenant.driver
+        if not driver.done:
+            driver.pause()
+        controller = tenant.controller
+        all_failed = set(controller.membership.dead) | set(ranks)
+        expectation = tenant.harness.predict(all_failed)
+        held, tm = self._acquire_shares(
+            tenant, want_remote=expectation.kind == "backup"
+        )
+        self._apply_time_model(tenant, tm)
+        pending_before = sum(
+            1 for r in self.pool.pending if r.tenant == name
+        )
+        cycle = {
+            "kind": "tenant_failure",
+            "tenant": name,
+            "t": round(self.sim.now, 6),
+            "cause": f"{event.kind}{event.index}",
+            "ranks": sorted(int(r) for r in ranks),
+            "expected": expectation.kind,
+        }
+        try:
+            report = controller.on_failure(set(ranks), self.sim.now)
+        except RecoveryError:
+            tenant.harness.observe("refused")
+            tenant.refused_events += 1
+            cycle["outcome"] = "refused"
+            self.cycles.append(cycle)
+            self._finalize_tenant(
+                tenant, "killed", f"unrecoverable {event.kind} loss"
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 — leaks are findings
+            tenant.harness.observe("engine_error")
+            cycle["outcome"] = f"engine_error:{type(exc).__name__}"
+            self.cycles.append(cycle)
+            self._finalize_tenant(tenant, "killed", f"engine error: {exc}")
+            return
+        finally:
+            self._apply_time_model(tenant, self.base_time_model)
+            self._release_shares(tenant, held)
+        outcome = "backup" if report.tier == "remote" else report.tier
+        tenant.harness.observe(outcome, report.version)
+        cycle["outcome"] = outcome
+        cycle["version"] = report.version
+        self.cycles.append(cycle)
+        self._check_restored(tenant, report)
+        # Spares the controller just requested: poll when provisioned.
+        new_pending = [
+            r for r in self.pool.pending if r.tenant == name
+        ][pending_before:]
+        self._schedule_polls(new_pending)
+        if controller.can_checkpoint:
+            driver.resume(report.recovery_time)
+        else:
+            self.cycles.append(
+                {
+                    "kind": "blocked",
+                    "tenant": name,
+                    "t": round(self.sim.now, 6),
+                }
+            )
+
+    def _check_restored(self, tenant, report) -> None:
+        """Bit-exactness and iteration accounting after a recovery."""
+        name = tenant.spec.name
+        states = tenant.version_states.get(report.version)
+        if states is None:
+            # Restored a version older than the snapshot window (or one
+            # no completed save committed — the harness already judged
+            # version correctness against the oracle).
+            return
+        self.violations.extend(
+            f"{name}: {v}"
+            for v in check_restored_states(tenant.job, states)
+        )
+        expected_iteration = tenant.version_iteration[report.version]
+        if tenant.job.iteration != expected_iteration:
+            self.violations.append(
+                f"{name}: resumed at iteration {tenant.job.iteration}, "
+                f"expected {expected_iteration}"
+            )
+
+    # ------------------------------------------------------------------
+    # Spare arrivals
+    # ------------------------------------------------------------------
+    def _poll_tenant(self, name: str) -> None:
+        tenant = self.tenants.get(name)
+        if tenant is None or tenant.state != "running":
+            return
+        controller = tenant.controller
+        joined = controller.poll_spares(self.sim.now)
+        for rank in joined:
+            slot = tenant.slots[rank]
+            self.down_slots.discard(slot)
+            self.cycles.append(
+                {
+                    "kind": "join",
+                    "tenant": name,
+                    "t": round(self.sim.now, 6),
+                    "rank": int(rank),
+                }
+            )
+        if joined and controller.can_checkpoint and not tenant.driver.done:
+            tenant.driver.resume()
+
+    # ------------------------------------------------------------------
+    # Tenant end-of-life
+    # ------------------------------------------------------------------
+    def _on_tenant_done(self, name: str) -> None:
+        tenant = self.tenants[name]
+        self._finalize_tenant(tenant, "completed", "")
+
+    def _finalize_tenant(self, tenant, state: str, detail: str) -> None:
+        name = tenant.spec.name
+        tenant.state = state
+        tenant.outcome_detail = detail
+        if tenant.driver is not None:
+            tenant.driver.pause()
+        self.violations.extend(
+            v for v in tenant.harness.violations
+        )
+        tenant.harness.violations = []
+        record = tenant.slo()
+        record["degraded_at_exit"] = bool(
+            tenant.manager is not None and tenant.manager.degraded
+        )
+        self.slo_records[name] = record
+        self._finalized.append(name)
+        returned = self.pool.cancel_tenant(name)
+        if returned:
+            promoted = self.pool.restock(0, self.sim.now)
+            self._schedule_polls(promoted)
+        for slot in tenant.release():
+            del self.slot_owner[slot]
+            if slot in self.down_slots:
+                # The position is machine-less; a fresh machine is
+                # racked after a depot turnaround.
+                self.sim.schedule(
+                    self._depot_delay(),
+                    lambda s=slot: self._on_slot_repaired(s),
+                )
+            else:
+                self.free_slots.append(slot)
+        self.cycles.append(
+            {
+                "kind": state,
+                "tenant": name,
+                "t": round(self.sim.now, 6),
+                **({"detail": detail} if detail else {}),
+            }
+        )
+        self._try_admit()
+
+    # ------------------------------------------------------------------
+    def run(self, max_stall_rounds: int = 1000) -> None:
+        """Run to completion: drain events, breaking spare-starvation
+        deadlocks by killing stalled tenants (their wait is already in
+        the starvation ledger) until every submitted tenant finished.
+        """
+        self.sim.run()
+        for _ in range(max_stall_rounds):
+            stalled = [
+                t
+                for t in self.tenants.values()
+                if t.state == "running"
+            ]
+            if not stalled and not len(self.queue):
+                return
+            for tenant in stalled:
+                self._finalize_tenant(
+                    tenant, "stalled", "spare starvation at trace end"
+                )
+            self._try_admit()
+            self.sim.run()
+        raise SimulationError(
+            f"fleet failed to drain after {max_stall_rounds} stall rounds"
+        )

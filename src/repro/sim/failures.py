@@ -122,6 +122,86 @@ def concurrent_failure_counts(
     return counts
 
 
+@dataclass(frozen=True)
+class DomainFailureEvent:
+    """One failure of a whole domain (or a single node) at ``time`` hours.
+
+    ``kind`` names the failure domain class (``"node"``, ``"rack"``,
+    ``"switch"``, ``"power"``, ...); ``index`` is the domain's index
+    within that class.  The fleet topology maps ``(kind, index)`` to the
+    set of machine slots the event takes down.
+    """
+
+    time: float
+    kind: str
+    index: int
+
+
+def domain_failure_trace(
+    domain_counts: dict[str, int],
+    mtbf_hours: dict[str, float],
+    duration_hours: float,
+    rng: np.random.Generator,
+) -> list[DomainFailureEvent]:
+    """Poisson failure trace over correlated failure domains.
+
+    Real fleets lose machines one at a time *and* in correlated bursts:
+    a rack PDU trips, a ToR switch dies, a power feed browns out — one
+    event takes down every machine in the domain, across every tenant
+    scheduled onto it.  Each domain class gets an independent Poisson
+    process (rate = domains / MTBF-per-domain); the merged process is
+    sampled directly: exponential inter-arrivals at the total rate, each
+    event assigned a class by rate share and a uniform domain index.
+
+    Args:
+        domain_counts: domain class -> number of domains (e.g.
+            ``{"node": 64, "rack": 16, "switch": 8, "power": 4}``).
+        mtbf_hours: domain class -> MTBF per domain; classes absent from
+            either mapping (or with a zero/None count) produce no events.
+        duration_hours: trace length.
+        rng: numpy random generator.
+
+    Returns:
+        Time-ordered domain failure events (times in hours).
+
+    Raises:
+        SimulationError: for a non-positive duration, count, or MTBF.
+    """
+    if duration_hours <= 0:
+        raise SimulationError(
+            f"duration_hours must be positive, got {duration_hours}"
+        )
+    rates: list[tuple[str, int, float]] = []
+    for kind in sorted(set(domain_counts) & set(mtbf_hours)):
+        count = domain_counts[kind]
+        mtbf = mtbf_hours[kind]
+        if not count or mtbf is None:
+            continue
+        if count < 0:
+            raise SimulationError(f"{kind} count must be >= 0, got {count}")
+        if mtbf <= 0:
+            raise SimulationError(f"{kind} MTBF must be positive, got {mtbf}")
+        rates.append((kind, count, count / mtbf))
+    total_rate = sum(rate for _, _, rate in rates)
+    if total_rate == 0:
+        return []
+    shares = np.array([rate for _, _, rate in rates]) / total_rate
+    events: list[DomainFailureEvent] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / total_rate))
+        if t >= duration_hours:
+            break
+        which = int(rng.choice(len(rates), p=shares))
+        kind, count, _ = rates[which]
+        events.append(
+            DomainFailureEvent(
+                time=t, kind=kind, index=int(rng.integers(count))
+            )
+        )
+    return events
+
+
 def sample_correlated_failures(
     cluster,
     p_node: float,

@@ -20,6 +20,7 @@ CPU erasure-coding throughput the paper cites as achievable.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -115,6 +116,42 @@ class TimeModel:
     def disk_read_time(self, nbytes: int) -> float:
         """Seconds to read ``nbytes`` from one node's local disk."""
         return nbytes / gbps(self.disk_read_gbps)
+
+    def with_shared_bottleneck(
+        self,
+        remote_share: float = 1.0,
+        inter_node_share: float = 1.0,
+    ) -> "TimeModel":
+        """Derive a model whose *shared* resources are scaled to a share.
+
+        In a multi-tenant fleet the remote store's aggregate pipe and the
+        cross-rack fabric are shared bottlenecks: an arbiter grants each
+        tenant a fraction of them, and the tenant's transfers then run
+        against a time model carrying only that fraction.  Node-local
+        resources (PCIe, NVLink, disks, CPU throughputs) are unaffected —
+        they are never shared across tenants.
+
+        Args:
+            remote_share: fraction of ``remote_storage_gbps`` granted.
+            inter_node_share: fraction of ``inter_node_gbps`` granted
+                (models cross-rack trunk contention).
+
+        Raises:
+            SimulationError: for a share outside ``(0, 1]``.
+        """
+        for name, share in (
+            ("remote_share", remote_share),
+            ("inter_node_share", inter_node_share),
+        ):
+            if not 0.0 < share <= 1.0:
+                raise SimulationError(f"{name} must be in (0, 1], got {share}")
+        if remote_share == 1.0 and inter_node_share == 1.0:
+            return self
+        return dataclasses.replace(
+            self,
+            remote_storage_gbps=self.remote_storage_gbps * remote_share,
+            inter_node_gbps=self.inter_node_gbps * inter_node_share,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -366,6 +403,117 @@ class ClusterNetwork:
                 f.finish_time if f is not None else 0.0 for f in by_request
             ],
         )
+
+
+# ---------------------------------------------------------------------------
+# Admission-time arbitration of one shared fleet bottleneck
+# ---------------------------------------------------------------------------
+@dataclass
+class BandwidthClaim:
+    """One tenant's live claim on a shared bottleneck.
+
+    ``fraction`` and ``rate`` are recomputed by the arbiter on every
+    acquire/release, so a held claim always reflects the current mix.
+    """
+
+    name: str
+    weight: float
+    priority: int
+    fraction: float = 0.0
+    rate: float = 0.0  # bytes/second
+
+
+class BandwidthArbiter:
+    """Weighted fair-share / priority arbitration of one shared resource.
+
+    The flow-level :class:`Network` resolves contention *within* one
+    tenant's transfer phase; the arbiter resolves contention *between*
+    tenants at admission time: each concurrent claimant is granted a
+    fraction of the capacity, and its transfers then run against a
+    :meth:`TimeModel.with_shared_bottleneck` model carrying that share.
+
+    Two modes:
+
+    * ``"fair"`` — grants are proportional to claim weights; with every
+      weight equal this is plain max-min sharing.
+    * ``"priority"`` — each priority level multiplies the effective
+      weight by :data:`PRIORITY_BOOST`; higher levels dominate but lower
+      levels keep a positive floor, so no claimant is starved outright
+      (waits stay bounded).
+
+    Invariants (the Hypothesis suite pins them):
+
+    * granted rates never sum above capacity;
+    * with any claims active the grants sum to exactly the capacity
+      (work conservation — the arbiter rebalances on every change);
+    * within one priority level, ``fraction_i / fraction_j ==
+      weight_i / weight_j``.
+    """
+
+    PRIORITY_BOOST = 8.0
+
+    def __init__(self, capacity: float, mode: str = "fair"):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if mode not in ("fair", "priority"):
+            raise SimulationError(f"unknown arbitration mode {mode!r}")
+        self.capacity = float(capacity)
+        self.mode = mode
+        self.claims: dict[str, BandwidthClaim] = {}
+
+    def _effective_weight(self, claim: BandwidthClaim) -> float:
+        if self.mode == "priority":
+            return claim.weight * self.PRIORITY_BOOST**claim.priority
+        return claim.weight
+
+    def _rebalance(self) -> None:
+        total = sum(self._effective_weight(c) for c in self.claims.values())
+        for claim in self.claims.values():
+            claim.fraction = self._effective_weight(claim) / total
+            claim.rate = self.capacity * claim.fraction
+
+    def acquire(
+        self, name: str, weight: float = 1.0, priority: int = 0
+    ) -> BandwidthClaim:
+        """Admit a claimant; returns its (live) claim.
+
+        Raises:
+            SimulationError: for a duplicate claimant, non-positive
+                weight, or negative priority.
+        """
+        if name in self.claims:
+            raise SimulationError(f"duplicate claim {name!r}")
+        if weight <= 0:
+            raise SimulationError(f"weight must be positive, got {weight}")
+        if priority < 0:
+            raise SimulationError(f"priority must be >= 0, got {priority}")
+        claim = BandwidthClaim(name=name, weight=weight, priority=priority)
+        self.claims[name] = claim
+        self._rebalance()
+        return claim
+
+    def release(self, name: str) -> None:
+        """Drop a claim and rebalance the survivors.
+
+        Raises:
+            SimulationError: for an unknown claimant.
+        """
+        if name not in self.claims:
+            raise SimulationError(f"unknown claim {name!r}")
+        del self.claims[name]
+        if self.claims:
+            self._rebalance()
+
+    @property
+    def allocated(self) -> float:
+        """Sum of granted rates (== capacity when any claims are live)."""
+        return sum(c.rate for c in self.claims.values())
+
+    def fraction_of(self, name: str) -> float:
+        """Current capacity fraction granted to ``name`` (1.0 if alone)."""
+        if name not in self.claims:
+            raise SimulationError(f"unknown claim {name!r}")
+        return self.claims[name].fraction
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,61 @@
+"""Same-seed reruns of every campaign are byte-identical.
+
+Each campaign promises its report is a pure function of (config, seed)
+once provenance (and wall clocks) are excluded — the property the CI
+artifact diffing, the perf-floor ratchet, and every "rerun to debug"
+workflow rely on.  One suite pins it uniformly across the chaos, elastic,
+tier, and fleet campaigns, so a nondeterminism regression in a shared
+layer (rng derivation, dict ordering, event-loop tie-breaking) fails
+loudly no matter which campaign it entered through.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.campaign import ChaosConfig, run_campaign
+from repro.chaos.elastic_campaign import ElasticConfig, run_elastic_campaign
+from repro.chaos.tier_campaign import TierChaosConfig, run_tier_campaign
+from repro.fleet import FleetConfig, run_fleet_campaign
+
+CASES = [
+    pytest.param(
+        lambda: run_campaign(ChaosConfig(episodes=4, seed=17)),
+        id="chaos",
+    ),
+    pytest.param(
+        lambda: run_elastic_campaign(ElasticConfig(episodes=4, seed=17)),
+        id="elastic",
+    ),
+    pytest.param(
+        lambda: run_tier_campaign(TierChaosConfig(episodes=4, seed=17)),
+        id="tier",
+    ),
+    pytest.param(
+        lambda: run_fleet_campaign(
+            FleetConfig(jobs=4, episodes=1, seed=17, duration_hours=2.0)
+        ),
+        id="fleet",
+    ),
+]
+
+
+@pytest.mark.parametrize("runner", CASES)
+def test_same_seed_rerun_is_byte_identical(runner):
+    first = runner().to_json(provenance=False)
+    second = runner().to_json(provenance=False)
+    assert first == second
+
+
+@pytest.mark.parametrize("runner", CASES)
+def test_provenance_free_payload_has_no_environment_leaks(runner):
+    """The comparable payload must not smuggle in host-dependent keys;
+    anything wall-clock or machine-specific belongs under ``provenance``
+    / ``timing`` in the stamped form only."""
+    payload = json.loads(runner().to_json(provenance=False))
+    leaked = {"provenance", "timing", "wall_s", "hostname"} & set(payload)
+    assert not leaked
+    for episode in payload.get("episodes", []):
+        assert "wall_s" not in episode

@@ -1,0 +1,142 @@
+"""The generalized oracle-vs-engine differential harness.
+
+:mod:`repro.chaos.differential` names the predict -> restore -> judge
+dance every campaign repeats.  The pure :func:`judge` table is pinned in
+every disagreement direction, and a real engine closes the loop with the
+regression the fleet depends on: a correlated rack loss exceeding ``m``
+with no remote backup must be *predicted* refused, and the engine must
+actually refuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.differential import (
+    DifferentialHarness,
+    Expectation,
+    judge,
+    predict,
+)
+from repro.checkpoint.job import TrainingJob
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.errors import RecoveryError
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+
+
+def make_engine(seed=7, k=2, m=2):
+    job = TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=5e-5,
+        seed=seed,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=k, m=m, encode_threads=2))
+    job.advance()
+    engine.save()
+    return job, engine
+
+
+class TestJudge:
+    def test_agreement_is_silent(self):
+        exp = Expectation(kind="memory", version=3, failed=(1,))
+        assert judge(exp, "memory", 3) == []
+
+    def test_correct_refusal_is_silent(self):
+        exp = Expectation(kind="refused", version=None, failed=(0, 1, 2))
+        assert judge(exp, "refused") == []
+
+    def test_refusing_recoverable_failure_is_a_violation(self):
+        exp = Expectation(kind="memory", version=2, failed=(1,))
+        found = judge(exp, "refused", context="tenant-a")
+        assert len(found) == 1
+        assert "tenant-a" in found[0] and "refused" in found[0]
+
+    def test_recovering_unrecoverable_failure_is_a_violation(self):
+        exp = Expectation(kind="refused", version=None, failed=(0, 1, 2))
+        found = judge(exp, "memory", 2)
+        assert len(found) == 1 and "nothing was recoverable" in found[0]
+
+    def test_wrong_tier_and_wrong_version_are_separate_violations(self):
+        exp = Expectation(kind="memory", version=3, failed=(1,))
+        found = judge(exp, "backup", 2)
+        assert len(found) == 2
+
+    def test_engine_error_is_always_a_violation(self):
+        refusing = Expectation(kind="refused", version=None)
+        recovering = Expectation(kind="disk", version=1)
+        assert len(judge(refusing, "engine_error")) == 1
+        assert len(judge(recovering, "engine_error")) == 1
+
+    def test_unknown_outcome_raises(self):
+        with pytest.raises(ValueError):
+            judge(Expectation(kind="memory", version=1), "teleported")
+
+
+class TestHarness:
+    def test_observe_without_predict_raises(self):
+        _, engine = make_engine()
+        harness = DifferentialHarness(engine)
+        with pytest.raises(ValueError):
+            harness.observe("memory", 1)
+
+    def test_predict_observe_cycle_accumulates_violations(self):
+        _, engine = make_engine()
+        harness = DifferentialHarness(engine, label="t0")
+        exp = harness.predict({1})
+        assert exp.kind == "memory" and exp.version == engine.version
+        harness.observe("refused")  # wrong: v1 was recoverable
+        assert harness.predictions == 1
+        assert len(harness.violations) == 1
+        # The expectation is consumed; a second observe needs a predict.
+        with pytest.raises(ValueError):
+            harness.observe("memory", 1)
+
+    def test_clean_cycle_leaves_no_violations(self):
+        _, engine = make_engine()
+        harness = DifferentialHarness(engine, label="t0")
+        harness.predict({2})
+        report = engine.restore({2})
+        harness.observe(report.tier, report.version)
+        assert harness.violations == []
+
+
+class TestRackLossRegression:
+    """Correlated rack loss exceeding ``m`` must be refused — and the
+    oracle must predict the refusal, not merely tolerate it.
+
+    A (k=2, m=2) tenant racked entirely inside one failure domain loses
+    all four nodes when the rack dies; with no remote backup nothing is
+    recoverable.  This is the exact scenario the fleet's domain events
+    produce for a tenant whose slots share a rack.
+    """
+
+    def test_rack_loss_exceeding_m_predicted_refused(self):
+        _, engine = make_engine()
+        all_nodes = {0, 1, 2, 3}
+        expectation = predict(engine, all_nodes)
+        assert expectation.kind == "refused"
+        assert expectation.version is None
+
+    def test_engine_agrees_and_harness_stays_clean(self):
+        _, engine = make_engine()
+        harness = DifferentialHarness(engine, label="racked")
+        harness.predict({0, 1, 2, 3})
+        with pytest.raises(RecoveryError):
+            engine.restore({0, 1, 2, 3})
+        harness.observe("refused")
+        assert harness.violations == []
+
+    def test_loss_within_m_still_recovers(self):
+        """Contrast case: losing exactly ``m`` nodes stays recoverable,
+        so the refusal above is about the domain size, not a blanket
+        refusal."""
+        _, engine = make_engine()
+        harness = DifferentialHarness(engine, label="half-rack")
+        exp = harness.predict({0, 1})
+        assert exp.recoverable
+        report = engine.restore({0, 1})
+        harness.observe(report.tier, report.version)
+        assert harness.violations == []

@@ -1,0 +1,144 @@
+"""ScheduledJobDriver: the per-job loop as shared-event-loop callbacks.
+
+The fleet scheduler steps every tenant through one of these; the
+contract is that a tick is exactly the classic ``job.advance();
+manager.step()`` loop body, with hooks around *due* saves and clean
+pause/resume semantics for failure handling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager, ScheduledJobDriver
+from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.errors import CheckpointError
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.sim.events import Simulator
+
+
+def make_pair(seed=0, interval=2, remote_backup_every=0):
+    job = TrainingJob.create(
+        model="gpt2-h1024-L16",
+        cluster=ClusterSpec(num_nodes=4, gpus_per_node=2, nodes_per_rack=2),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=5e-5,
+        seed=seed,
+    )
+    engine = ECCheckEngine(job, ECCheckConfig(k=2, m=2))
+    manager = CheckpointManager(
+        job, engine, interval=interval,
+        remote_backup_every=remote_backup_every,
+    )
+    return job, engine, manager
+
+
+def test_driver_matches_inline_loop():
+    sim = Simulator()
+    job, engine, manager = make_pair(seed=4)
+    driver = ScheduledJobDriver(sim, manager, iteration_s=10.0, max_iterations=7)
+    driver.start()
+    sim.run()
+    assert driver.done and driver.iterations_run == 7
+
+    ref_job, _, ref_manager = make_pair(seed=4)
+    for _ in range(7):
+        ref_job.advance()
+        ref_manager.step()
+    assert job.iteration == ref_job.iteration == 7
+    assert manager.stats.checkpoints == ref_manager.stats.checkpoints
+    assert engine.version == manager.stats.checkpoints
+
+
+def test_ticks_advance_sim_time_by_iteration_and_stall():
+    sim = Simulator()
+    _, _, manager = make_pair(interval=1000)
+    manager.step()  # take the initial save now, so no tick checkpoints
+    driver = ScheduledJobDriver(sim, manager, iteration_s=30.0, max_iterations=4)
+    driver.start()
+    sim.run()
+    # First tick at t=0, then three 30 s gaps (no checkpoint stall).
+    assert sim.now == pytest.approx(90.0)
+
+
+def test_save_hooks_fire_only_on_due_saves():
+    sim = Simulator()
+    _, _, manager = make_pair(interval=2)
+    seen = []
+
+    def pre_save(driver):
+        return f"token-{driver.iterations_run}"
+
+    def post_save(driver, token, report):
+        seen.append((token, report.version if report else None))
+
+    driver = ScheduledJobDriver(
+        sim, manager, iteration_s=10.0, max_iterations=6,
+        pre_save=pre_save, post_save=post_save,
+    )
+    driver.start()
+    sim.run()
+    # The first step always saves (nothing committed yet), then
+    # interval=2 spaces the rest: saves at iterations 1, 3, 5.
+    assert seen == [("token-1", 1), ("token-3", 2), ("token-5", 3)]
+
+
+def test_on_done_fires_once_at_max_iterations():
+    sim = Simulator()
+    _, _, manager = make_pair()
+    done = []
+    driver = ScheduledJobDriver(
+        sim, manager, iteration_s=5.0, max_iterations=3,
+        on_done=lambda d: done.append(d.iterations_run),
+    )
+    driver.start()
+    sim.run()
+    assert done == [3]
+    # A stray resume after completion must not restart the loop.
+    driver.resume()
+    sim.run()
+    assert driver.iterations_run == 3
+
+
+def test_pause_resume_suspends_ticking():
+    sim = Simulator()
+    _, _, manager = make_pair(interval=1000)
+    manager.step()  # no tick-time saves -> deterministic tick times
+    driver = ScheduledJobDriver(sim, manager, iteration_s=10.0, max_iterations=5)
+    driver.start()
+    sim.schedule(15.0, driver.pause)  # after the t=0 and t=10 ticks
+    sim.run()
+    assert driver.iterations_run == 2 and not driver.done
+    driver.resume(delay=100.0)
+    sim.run()
+    assert driver.done and driver.iterations_run == 5
+    assert sim.now == pytest.approx(15.0 + 100.0 + 3 * 10.0 - 10.0)
+
+
+def test_validation():
+    sim = Simulator()
+    _, _, manager = make_pair()
+    with pytest.raises(CheckpointError):
+        ScheduledJobDriver(sim, manager, iteration_s=0.0, max_iterations=1)
+    with pytest.raises(CheckpointError):
+        ScheduledJobDriver(sim, manager, iteration_s=1.0, max_iterations=0)
+
+
+def test_backup_due_predicts_the_next_save():
+    _, _, manager = make_pair(interval=1, remote_backup_every=2)
+    job = manager.job
+    # Checkpoint #1: not a backup; #2: backup; alternating after.
+    expectations = [False, True, False, True]
+    for expected in expectations:
+        job.advance()
+        assert manager.backup_due() is expected
+        assert manager.step()
+    assert manager.stats.remote_backups == 2
+
+
+def test_backup_due_false_without_backup_policy():
+    _, _, manager = make_pair(interval=1, remote_backup_every=0)
+    manager.job.advance()
+    assert manager.backup_due() is False

@@ -193,3 +193,32 @@ def test_time_model_helpers():
     assert tm.encode_time(gbps(tm.encode_gbps), threads=2) == pytest.approx(2.0)
     # More threads than the pool cap does not exceed peak throughput.
     assert tm.encode_time(gbps(tm.encode_gbps), threads=64) == pytest.approx(1.0)
+
+
+def test_with_shared_bottleneck_scales_only_shared_resources():
+    tm = TimeModel()
+    shared = tm.with_shared_bottleneck(remote_share=0.25, inter_node_share=0.5)
+    assert shared.remote_storage_gbps == pytest.approx(
+        tm.remote_storage_gbps * 0.25
+    )
+    assert shared.inter_node_gbps == pytest.approx(tm.inter_node_gbps * 0.5)
+    # Node-local resources are never shared across tenants.
+    assert shared.dtoh_gbps == tm.dtoh_gbps
+    assert shared.nvlink_gbps == tm.nvlink_gbps
+    assert shared.disk_write_gbps == tm.disk_write_gbps
+    assert shared.encode_gbps == tm.encode_gbps
+
+
+def test_with_shared_bottleneck_full_share_is_identity():
+    tm = TimeModel()
+    assert tm.with_shared_bottleneck() is tm
+    assert tm.with_shared_bottleneck(1.0, 1.0) is tm
+
+
+def test_with_shared_bottleneck_rejects_bad_shares():
+    tm = TimeModel()
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(SimulationError):
+            tm.with_shared_bottleneck(remote_share=bad)
+        with pytest.raises(SimulationError):
+            tm.with_shared_bottleneck(inter_node_share=bad)

@@ -209,3 +209,42 @@ def test_analyze_subcommand(traced_file):
 def test_analyze_missing_file(tmp_path):
     code, _ = run_cli("analyze", str(tmp_path / "absent.jsonl"))
     assert code == 2
+
+
+def test_fleet_campaign_command(tmp_path):
+    import json
+
+    report_path = tmp_path / "fleet.json"
+    code, output = run_cli(
+        "fleet", "--jobs", "4", "--seed", "0", "--no-scaling",
+        "--output", str(report_path),
+    )
+    assert code == 0
+    assert "0 violations" in output
+    payload = json.loads(report_path.read_text())
+    assert payload["violations"] == []
+    assert payload["aggregates"]["jobs"] == 4
+    assert "provenance" in payload and "timing" in payload
+
+
+def test_fleet_violations_exit_nonzero(monkeypatch):
+    from repro.fleet import campaign as fleet_campaign
+
+    real = fleet_campaign.run_fleet_episode
+
+    def sabotage(episode, config, jobs=None):
+        result = real(episode, config, jobs=jobs)
+        result.violations.append("synthetic violation")
+        return result
+
+    monkeypatch.setattr(
+        "repro.fleet.run_fleet_episode", sabotage
+    )
+    monkeypatch.setattr(
+        "repro.fleet.campaign.run_fleet_episode", sabotage
+    )
+    code, output = run_cli(
+        "fleet", "--jobs", "2", "--no-scaling", "--output", ""
+    )
+    assert code == 1
+    assert "synthetic violation" in output
