@@ -42,6 +42,7 @@ from repro.checkpoint.sync_remote import SyncRemoteEngine
 from repro.checkpoint.two_phase import TwoPhaseEngine
 from repro.core.eccheck import ECCheckConfig, ECCheckEngine
 from repro.core.integrity import corrupt_buffer
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.parallel.strategy import ParallelismSpec
 from repro.parallel.topology import ClusterSpec
 from repro.sim.failures import (
@@ -75,6 +76,12 @@ class ChaosConfig:
     #: summary (span/event counts, phase totals, fired crash points) to
     #: the episode in ``CHAOS_report.json``.
     trace: bool = False
+    #: Attach a per-episode telemetry timeline sampled against a clock
+    #: derived from the save/recovery report durations.  Deliberately
+    #: excluded from the serialized config section so a ``timeline`` run
+    #: and a plain run differ only in the ``timeline`` sections.
+    timeline: bool = False
+    timeline_period_s: float = 60.0
 
 
 @dataclass
@@ -87,6 +94,8 @@ class EpisodeResult:
     violations: list[str] = field(default_factory=list)
     #: Present only when the campaign ran with ``ChaosConfig.trace``.
     trace_summary: dict | None = None
+    #: Present only when the campaign ran with ``ChaosConfig.timeline``.
+    timeline: dict | None = None
 
 
 @dataclass
@@ -149,6 +158,11 @@ class CampaignReport:
                     **(
                         {"trace_summary": e.trace_summary}
                         if e.trace_summary is not None
+                        else {}
+                    ),
+                    **(
+                        {"timeline": e.timeline}
+                        if e.timeline is not None
                         else {}
                     ),
                 }
@@ -267,11 +281,17 @@ def run_episode(
     tracer (the rng stream is untouched, so traced and untraced runs
     make identical draws) and the result carries a trace summary.
     """
+    sampler = None
+    if config.timeline:
+        sampler = TimeSeriesSampler(period_s=config.timeline_period_s)
     if not config.trace:
-        return _run_episode_impl(engine_name, episode, config)
-    with obs.use_tracer() as tracer:
-        result = _run_episode_impl(engine_name, episode, config)
-    result.trace_summary = obs.summarize(tracer)
+        result = _run_episode_impl(engine_name, episode, config, sampler)
+    else:
+        with obs.use_tracer() as tracer:
+            result = _run_episode_impl(engine_name, episode, config, sampler)
+        result.trace_summary = obs.summarize(tracer)
+    if sampler is not None:
+        result.timeline = sampler.timeline_dict()
     return result
 
 
@@ -279,6 +299,7 @@ def _run_episode_impl(
     engine_name: str,
     episode: int,
     config: ChaosConfig,
+    sampler: TimeSeriesSampler | None = None,
 ) -> EpisodeResult:
     rng = np.random.default_rng([config.seed, episode])
     result = EpisodeResult(episode=episode, engine=engine_name)
@@ -297,9 +318,27 @@ def _run_episode_impl(
     torn_versions: set[int] = set()
     drained_saves = 0
     drained_backups = 0
+    t = 0.0
+    if sampler is not None:
+        # No event loop here: the timeline's clock is *derived* — the
+        # cumulative save/recovery durations the engine itself reports.
+        sampler.register_probe(
+            "checkpoints", lambda _t: float(manager.stats.checkpoints)
+        )
+        sampler.register_probe(
+            "recoveries", lambda _t: float(manager.stats.recoveries)
+        )
+        sampler.register_probe(
+            "iterations_lost",
+            lambda _t: float(manager.stats.iterations_lost),
+        )
+        sampler.register_probe(
+            "torn_versions", lambda _t: float(len(torn_versions))
+        )
+        sampler.sample(0.0, "baseline")
 
     def drain_reports() -> None:
-        nonlocal drained_saves, drained_backups
+        nonlocal drained_saves, drained_backups, t
         fresh = (
             manager.stats.save_reports[drained_saves:]
             + manager.stats.backup_reports[drained_backups:]
@@ -307,6 +346,7 @@ def _run_episode_impl(
         drained_saves = len(manager.stats.save_reports)
         drained_backups = len(manager.stats.backup_reports)
         for report in fresh:
+            t += float(getattr(report, "checkpoint_time", 0.0))
             # The snapshot is taken right after the committing step, before
             # training advances, so it equals the bytes the save captured.
             version_states.setdefault(report.version, job.snapshot_states())
@@ -314,6 +354,8 @@ def _run_episode_impl(
                 report.version,
                 manager._checkpoint_iteration_of_version[report.version],
             )
+        if sampler is not None and fresh:
+            sampler.advance(t)
 
     rounds = int(rng.integers(1, config.max_rounds + 1))
     for _ in range(rounds):
@@ -335,6 +377,8 @@ def _run_episode_impl(
             except InjectedCrash:
                 crash_point = point
                 torn_versions.add(engine.version)
+                if sampler is not None:
+                    sampler.note_event(t, "save_crash", point=point)
             finally:
                 injector, engine.crash_injector = engine.crash_injector, None
             if crash_point is None:
@@ -348,6 +392,8 @@ def _run_episode_impl(
         corrupted = None
         if engine_name == "eccheck" and rng.random() < P_CORRUPT:
             corrupted = _corrupt_random_chunk(engine, rng)
+            if sampler is not None and corrupted is not None:
+                sampler.note_event(t, "corruption", where=corrupted)
 
         # -- sample a failure -------------------------------------------
         mode = str(
@@ -373,6 +419,10 @@ def _run_episode_impl(
             "corrupted": corrupted is not None,
             "expected": expected_kind,
         }
+        if sampler is not None:
+            sampler.note_event(
+                t, "failure", mode=mode, ranks=sorted(failed)
+            )
         try:
             report = manager.on_failure(failed)
         except RecoveryError as exc:
@@ -400,6 +450,9 @@ def _run_episode_impl(
         cycle["outcome"] = outcome
         cycle["version"] = report.version
         result.cycles.append(cycle)
+        if sampler is not None:
+            t += float(report.recovery_time)
+            sampler.advance(t)
 
         if expected_kind == "refused":
             result.violations.append(
@@ -448,6 +501,8 @@ def _run_episode_impl(
                     f"job resumed at iteration {job.iteration}, expected "
                     f"{version_iteration[report.version]}"
                 )
+    if sampler is not None:
+        sampler.finalize(t)
     return result
 
 

@@ -52,6 +52,11 @@ from repro.checkpoint.manager import CheckpointManager
 from repro.core.eccheck import ECCheckConfig, ECCheckEngine
 from repro.elastic import ElasticClusterController, RedundancyPolicy
 from repro.elastic.repair import REPAIR_CRASH_POINTS
+from repro.obs.timeseries import (
+    RECONCILE_REL_TOL,
+    TimeSeriesSampler,
+    use_sampler,
+)
 from repro.parallel.strategy import ParallelismSpec
 from repro.parallel.topology import ClusterSpec
 from repro.sim.spares import SparePool
@@ -78,6 +83,12 @@ class ElasticConfig:
     #: Run each episode under a collecting tracer and attach a trace
     #: summary to the episode in ``ELASTIC_report.json``.
     trace: bool = False
+    #: Sample a sim-time telemetry timeline per episode and attach it to
+    #: the episode record.  Deliberately excluded from the serialized
+    #: config section so a ``timeline`` run and a plain run differ only
+    #: in the ``timeline`` sections themselves.
+    timeline: bool = False
+    timeline_period_s: float = 60.0
 
 
 @dataclass
@@ -91,6 +102,8 @@ class ElasticEpisodeResult:
     redundancy_ledger: list[dict] = field(default_factory=list)
     #: Present only when the campaign ran with ``ElasticConfig.trace``.
     trace_summary: dict | None = None
+    #: Present only when the campaign ran with ``ElasticConfig.timeline``.
+    timeline: dict | None = None
 
 
 @dataclass
@@ -160,6 +173,11 @@ class ElasticReport:
                         if e.trace_summary is not None
                         else {}
                     ),
+                    **(
+                        {"timeline": e.timeline}
+                        if e.timeline is not None
+                        else {}
+                    ),
                 }
                 for e in self.episodes
             ],
@@ -225,7 +243,7 @@ def _sample_survivable_failure(
 
 
 def _run_episode_impl(
-    episode: int, config: ElasticConfig
+    episode: int, config: ElasticConfig, sampler: TimeSeriesSampler | None = None
 ) -> ElasticEpisodeResult:
     rng = np.random.default_rng([config.seed, episode])
     result = ElasticEpisodeResult(episode=episode)
@@ -248,6 +266,38 @@ def _run_episode_impl(
         rng=rng,
     )
     t = 0.0
+    if sampler is not None:
+        # Manual-clock mode: the campaign's own ``t`` drives the grid.
+        # Probes only read controller/pool state; eager degraded-window
+        # edges arrive through the manager's transition marks.
+        sampler.register_probe(
+            "alive_ranks", lambda _t: float(len(controller.membership.alive))
+        )
+        sampler.register_probe(
+            "dead_ranks", lambda _t: float(len(controller.membership.dead))
+        )
+        sampler.register_probe(
+            "pool_remaining", lambda _t: float(pool.remaining)
+        )
+        sampler.register_probe(
+            "parity_m", lambda _t: float(engine.config.m)
+        )
+        sampler.watch_tenant(
+            "job",
+            manager,
+            {
+                "degraded": lambda _t: 1.0 if manager.degraded else 0.0,
+                "iteration": lambda _t: float(job.iteration),
+            },
+            t=0.0,
+        )
+        sampler.sample(0.0, "baseline")
+
+    def clock(dt: float) -> None:
+        nonlocal t
+        t += dt
+        if sampler is not None:
+            sampler.advance(t)
 
     version_states: dict[int, dict] = {}
     version_iteration: dict[int, int] = {}
@@ -291,7 +341,7 @@ def _run_episode_impl(
     for _ in range(rounds):
         # -- train + checkpoint (degraded saves audited) ----------------
         for _ in range(int(rng.integers(1, 4))):
-            t += float(rng.uniform(20.0, 60.0))
+            clock(float(rng.uniform(20.0, 60.0)))
             if not controller.can_checkpoint:
                 result.cycles.append({"kind": "blocked"})
                 continue
@@ -331,7 +381,9 @@ def _run_episode_impl(
                 engine, controller.membership.alive, rng
             )
             if failed:
-                t += float(rng.uniform(1.0, 10.0))
+                clock(float(rng.uniform(1.0, 10.0)))
+                if sampler is not None:
+                    sampler.note_event(t, "failure", ranks=sorted(failed))
                 _, expected_version = expected_outcome(engine, failed)
                 cycle = {
                     "kind": "failure",
@@ -367,7 +419,7 @@ def _run_episode_impl(
                 check_recovery(report, failed, cycle)
 
         # -- admit provisioned spares, maybe crashing the repair --------
-        t += float(rng.uniform(30.0, 400.0))
+        clock(float(rng.uniform(30.0, 400.0)))
         injector = None
         repair_crash = None
         if rng.random() < P_REPAIR_CRASH:
@@ -395,10 +447,12 @@ def _run_episode_impl(
                         "resumed": True,
                     }
                 )
-            t += float(rng.uniform(5.0, 60.0))
+            clock(float(rng.uniform(5.0, 60.0)))
             controller.run_repair(t)
             joined = controller.poll_spares(t)
         for rank in joined:
+            if sampler is not None:
+                sampler.note_event(t, "spare_join", rank=rank)
             result.cycles.append(
                 {
                     "kind": "join",
@@ -410,7 +464,7 @@ def _run_episode_impl(
 
         # -- maybe consult the adaptive policy --------------------------
         if rng.random() < P_ADAPT:
-            t += 1.0
+            clock(1.0)
             adopted = controller.maybe_adapt(t)
             if adopted is not None:
                 result.cycles.append(
@@ -421,7 +475,7 @@ def _run_episode_impl(
     while controller.membership.dead:
         # The pool ran dry (or arrivals are still in flight): model the
         # operator provisioning a machine by hand.
-        t += float(rng.uniform(30.0, 200.0))
+        clock(float(rng.uniform(30.0, 200.0)))
         remaining = controller.poll_spares(t)
         for rank in remaining:
             result.cycles.append(
@@ -439,7 +493,7 @@ def _run_episode_impl(
     # shot — an adopted (k, m) re-encodes the latest version, and the
     # final redundancy/restore checks below must still hold on it.
     if rng.random() < 0.5:
-        t += 1.0
+        clock(1.0)
         adopted = controller.maybe_adapt(t)
         if adopted is not None:
             result.cycles.append(
@@ -481,6 +535,20 @@ def _run_episode_impl(
                 )
             check_recovery(report, set(), cycle)
     result.redundancy_ledger = list(manager.stats.redundancy_ledger)
+    if sampler is not None:
+        sampler.finalize(t)
+        # Self-audit: the timeline's degraded-time integral over closed
+        # windows must reconstruct the manager's ledger exactly.
+        integrated = sampler.tenants["job"].closed_integral_s
+        ledger = sum(
+            e["degraded_seconds"] for e in result.redundancy_ledger
+        )
+        tol = max(abs(ledger), abs(integrated)) * RECONCILE_REL_TOL + 1e-9
+        if abs(ledger - integrated) > tol:
+            result.violations.append(
+                f"timeline degraded integral {integrated!r} != ledger "
+                f"degraded_seconds {ledger!r} (tol {tol:g})"
+            )
     return result
 
 
@@ -488,11 +556,26 @@ def run_elastic_episode(
     episode: int, config: ElasticConfig
 ) -> ElasticEpisodeResult:
     """One seeded elastic episode; traced when the config asks for it."""
+    sampler = None
+    if config.timeline:
+        sampler = TimeSeriesSampler(period_s=config.timeline_period_s)
+
+    def impl() -> ElasticEpisodeResult:
+        if sampler is None:
+            return _run_episode_impl(episode, config)
+        # Installing the sampler lets the manager's degraded-window
+        # transition marks land eager samples at their exact sim time.
+        with use_sampler(sampler):
+            return _run_episode_impl(episode, config, sampler)
+
     if not config.trace:
-        return _run_episode_impl(episode, config)
-    with obs.use_tracer() as tracer:
-        result = _run_episode_impl(episode, config)
-    result.trace_summary = obs.summarize(tracer)
+        result = impl()
+    else:
+        with obs.use_tracer() as tracer:
+            result = impl()
+        result.trace_summary = obs.summarize(tracer)
+    if sampler is not None:
+        result.timeline = sampler.timeline_dict()
     return result
 
 

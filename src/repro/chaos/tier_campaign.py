@@ -52,6 +52,7 @@ from repro.checkpoint.manager import CheckpointManager
 from repro.checkpoint.tiering import TierPolicy
 from repro.core.eccheck import ECCheckConfig, ECCheckEngine
 from repro.core.integrity import corrupt_buffer
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.trace_io import crosscheck_totals, phase_totals
 from repro.parallel.strategy import ParallelismSpec
 from repro.parallel.topology import ClusterSpec
@@ -86,6 +87,12 @@ class TierChaosConfig:
     #: phase totals against report breakdowns at :data:`REL_TOL`, and
     #: attach a trace summary to the episode.
     trace: bool = False
+    #: Attach a per-episode telemetry timeline sampled against a clock
+    #: derived from save/recovery durations.  Deliberately excluded from
+    #: the serialized config section so a ``timeline`` run and a plain
+    #: run differ only in the ``timeline`` sections.
+    timeline: bool = False
+    timeline_period_s: float = 60.0
 
 
 @dataclass
@@ -100,6 +107,8 @@ class TierEpisodeResult:
     tier_flow: dict = field(default_factory=dict)
     #: Present only when the campaign ran with ``TierChaosConfig.trace``.
     trace_summary: dict | None = None
+    #: Present only when the campaign ran with ``TierChaosConfig.timeline``.
+    timeline: dict | None = None
 
 
 @dataclass
@@ -196,6 +205,11 @@ class TierCampaignReport:
                     **(
                         {"trace_summary": e.trace_summary}
                         if e.trace_summary is not None
+                        else {}
+                    ),
+                    **(
+                        {"timeline": e.timeline}
+                        if e.timeline is not None
                         else {}
                     ),
                 }
@@ -297,11 +311,21 @@ def run_tier_episode(
     episode: int, config: TierChaosConfig
 ) -> TierEpisodeResult:
     """One seeded tier-loss episode (traced when ``config.trace``)."""
+    sampler = None
+    if config.timeline:
+        sampler = TimeSeriesSampler(period_s=config.timeline_period_s)
     if not config.trace:
-        return _run_tier_episode_impl(episode, config, tracer=None)
-    with obs.use_tracer() as tracer:
-        result = _run_tier_episode_impl(episode, config, tracer=tracer)
-    result.trace_summary = obs.summarize(tracer)
+        result = _run_tier_episode_impl(
+            episode, config, tracer=None, sampler=sampler
+        )
+    else:
+        with obs.use_tracer() as tracer:
+            result = _run_tier_episode_impl(
+                episode, config, tracer=tracer, sampler=sampler
+            )
+        result.trace_summary = obs.summarize(tracer)
+    if sampler is not None:
+        result.timeline = sampler.timeline_dict()
     return result
 
 
@@ -309,6 +333,7 @@ def _run_tier_episode_impl(
     episode: int,
     config: TierChaosConfig,
     tracer,
+    sampler: TimeSeriesSampler | None = None,
 ) -> TierEpisodeResult:
     rng = np.random.default_rng([config.seed, episode])
     result = TierEpisodeResult(episode=episode)
@@ -320,9 +345,33 @@ def _run_tier_episode_impl(
     drained_saves = 0
     drained_backups = 0
     restore_breakdowns: list[dict] = []
+    t = 0.0
+    if sampler is not None:
+        # Derived clock, as in the base chaos campaign; the probes watch
+        # the tier stack's byte flow alongside the recovery counters.
+        sampler.register_probe(
+            "checkpoints", lambda _t: float(manager.stats.checkpoints)
+        )
+        sampler.register_probe(
+            "recoveries", lambda _t: float(manager.stats.recoveries)
+        )
+        sampler.register_probe(
+            "demotions", lambda _t: float(manager.stats.demotions)
+        )
+        sampler.register_probe(
+            "evictions", lambda _t: float(manager.stats.evictions)
+        )
+        sampler.register_probe(
+            "bytes_to_disk", lambda _t: float(manager.stats.bytes_to_disk)
+        )
+        sampler.register_probe(
+            "disk_bytes_evicted",
+            lambda _t: float(manager.stats.disk_bytes_evicted),
+        )
+        sampler.sample(0.0, "baseline")
 
     def drain_reports() -> None:
-        nonlocal drained_saves, drained_backups
+        nonlocal drained_saves, drained_backups, t
         fresh = (
             manager.stats.save_reports[drained_saves:]
             + manager.stats.backup_reports[drained_backups:]
@@ -330,11 +379,14 @@ def _run_tier_episode_impl(
         drained_saves = len(manager.stats.save_reports)
         drained_backups = len(manager.stats.backup_reports)
         for report in fresh:
+            t += float(getattr(report, "checkpoint_time", 0.0))
             version_states.setdefault(report.version, job.snapshot_states())
             version_iteration.setdefault(
                 report.version,
                 manager._checkpoint_iteration_of_version[report.version],
             )
+        if sampler is not None and fresh:
+            sampler.advance(t)
 
     rounds = int(rng.integers(1, config.max_rounds + 1))
     for _ in range(rounds):
@@ -385,6 +437,10 @@ def _run_tier_episode_impl(
 
         if not failed and crash_point is None:
             continue  # nothing happened this round
+        if sampler is not None:
+            sampler.note_event(
+                t, "tier_loss", scenario=scenario, ranks=sorted(failed)
+            )
 
         # -- oracle, then recover ---------------------------------------
         expected_kind, expected_version = expected_outcome(engine, failed)
@@ -429,6 +485,9 @@ def _run_tier_episode_impl(
         cycle["bytes_from_remote"] = report.bytes_from_remote
         result.cycles.append(cycle)
         restore_breakdowns.append(report.breakdown)
+        if sampler is not None:
+            t += float(report.recovery_time)
+            sampler.advance(t)
 
         if expected_kind == "refused":
             result.violations.append(
@@ -520,6 +579,8 @@ def _run_tier_episode_impl(
                 f"traced {label} phases do not reconcile: {p}"
                 for p in problems
             )
+    if sampler is not None:
+        sampler.finalize(t)
     return result
 
 

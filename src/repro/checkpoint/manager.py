@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.obs import timeseries as obs_timeseries
 from repro.errors import CheckpointError
 from repro.checkpoint.base import CheckpointEngine, RecoveryReport
 from repro.checkpoint.frequency import AdaptiveFrequencyTuner
@@ -192,6 +193,12 @@ class CheckpointManager:
                 checkpoint_s=report.checkpoint_time,
             )
             tracer.metrics.counter("manager.checkpoints").inc()
+            tracer.metrics.histogram("manager.stall_s").observe(
+                report.stall_time
+            )
+            tracer.metrics.histogram("manager.checkpoint_s").observe(
+                report.checkpoint_time
+            )
         if self.tuner and self.iteration_s:
             observed = report.stall_time / (self.current_interval * self.iteration_s)
             self.tuner.observe(observed)
@@ -293,6 +300,12 @@ class CheckpointManager:
         """True while a degraded window is open."""
         return self._degraded_window is not None
 
+    @property
+    def degraded_since(self) -> float | None:
+        """Sim time the open degraded window started, or None."""
+        window = self._degraded_window
+        return window["degraded_at"] if window is not None else None
+
     def mark_degraded(
         self, sim_time: float, cause: str = "failure", failed_ranks=()
     ) -> None:
@@ -311,6 +324,11 @@ class CheckpointManager:
         else:
             merged = set(self._degraded_window["failed_ranks"]) | set(failed_ranks)
             self._degraded_window["failed_ranks"] = sorted(merged)
+        sampler = obs_timeseries.active()
+        if sampler is not None:
+            # Eager sample: the window edge lands at its exact sim time
+            # rather than being quantised to the next sampling tick.
+            sampler.record_transition(self, float(sim_time), True, cause)
 
     def mark_fully_redundant(self, sim_time: float) -> dict | None:
         """Close the open degraded window; returns the ledger entry.
@@ -344,6 +362,11 @@ class CheckpointManager:
             )
             tracer.metrics.gauge("manager.degraded_seconds").set(
                 self.stats.degraded_seconds
+            )
+        sampler = obs_timeseries.active()
+        if sampler is not None:
+            sampler.record_transition(
+                self, float(sim_time), False, entry["cause"]
             )
         return entry
 

@@ -126,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
         "trace summaries to the report",
     )
     chaos.add_argument(
+        "--timeline",
+        action="store_true",
+        help="attach a per-episode telemetry timeline (derived clock) to "
+        "the report; every other field stays byte-identical",
+    )
+    chaos.add_argument(
+        "--timeline-period",
+        type=float,
+        default=60.0,
+        help="sim-seconds between telemetry samples (default 60)",
+    )
+    chaos.add_argument(
         "--tiers",
         action="store_true",
         help="run the tier-loss campaign instead (ECCheck under a tier "
@@ -168,6 +180,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each episode under a tracer and attach per-episode "
         "trace summaries to the report",
     )
+    elastic.add_argument(
+        "--timeline",
+        action="store_true",
+        help="attach a per-episode telemetry timeline (manual sim clock, "
+        "eager degraded-window edges) to the report; every other field "
+        "stays byte-identical",
+    )
+    elastic.add_argument(
+        "--timeline-period",
+        type=float,
+        default=60.0,
+        help="sim-seconds between telemetry samples (default 60)",
+    )
 
     fleet = sub.add_parser(
         "fleet",
@@ -209,6 +234,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="FLEET_report.json",
         help="JSON campaign report path ('' to skip writing)",
+    )
+    fleet.add_argument(
+        "--timeline",
+        action="store_true",
+        help="sample fleet/tenant telemetry over sim time and attach a "
+        "'timeline' section (with online SLO alerts) to each episode; "
+        "every other report field stays byte-identical",
+    )
+    fleet.add_argument(
+        "--timeline-period",
+        type=float,
+        default=60.0,
+        help="sim-seconds between telemetry samples (default 60)",
+    )
+    fleet.add_argument(
+        "--dashboard",
+        default=None,
+        metavar="HTML",
+        help="write a self-contained HTML telemetry dashboard (implies "
+        "--timeline)",
+    )
+    fleet.add_argument(
+        "--fail-on-alerts",
+        action="store_true",
+        help="exit 1 if any severity-violation alert fired",
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a self-contained HTML telemetry dashboard from a "
+        "FLEET_report.json produced with --timeline",
+    )
+    dashboard.add_argument(
+        "report", help="fleet report JSON (run `repro fleet --timeline`)"
+    )
+    dashboard.add_argument(
+        "--output",
+        default=None,
+        help="HTML path (default: <report>.html)",
     )
 
     trace = sub.add_parser(
@@ -287,9 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="critical-path, utilization and idle-slot analysis of a "
-        "JSONL trace",
+        "JSONL trace; or, given a campaign report JSON with timeline "
+        "sections, reconcile timeline-integrated degraded time against "
+        "the per-tenant ledger at 1e-9",
     )
-    analyze.add_argument("trace", help="JSONL trace file from 'repro trace'")
+    analyze.add_argument(
+        "trace",
+        help="JSONL trace file from 'repro trace', or a campaign report "
+        "JSON from 'repro fleet --timeline'",
+    )
 
     history = sub.add_parser(
         "bench-history",
@@ -392,6 +462,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _elastic(args, out)
     if args.command == "fleet":
         return _fleet(args, out)
+    if args.command == "dashboard":
+        return _dashboard(args, out)
     if args.command == "trace":
         return _trace(args, out)
     if args.command == "export-trace":
@@ -435,6 +507,8 @@ def _chaos(args, out) -> int:
         engines=engines,
         max_rounds=args.max_rounds,
         trace=args.trace,
+        timeline=args.timeline,
+        timeline_period_s=args.timeline_period,
     )
     report = run_campaign(config)
     print(report.render(), file=out)
@@ -454,6 +528,8 @@ def _tier_chaos(args, out) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         trace=args.trace,
+        timeline=args.timeline,
+        timeline_period_s=args.timeline_period,
     )
     report = run_tier_campaign(config)
     print(report.render(), file=out)
@@ -477,6 +553,8 @@ def _elastic(args, out) -> int:
         max_rounds=args.max_rounds,
         redundancy_floor=args.redundancy_floor,
         trace=args.trace,
+        timeline=args.timeline,
+        timeline_period_s=args.timeline_period,
     )
     report = run_elastic_campaign(config)
     print(report.render(), file=out)
@@ -489,8 +567,11 @@ def _elastic(args, out) -> int:
 
 def _fleet(args, out) -> int:
     """Run a fleet campaign; exit 0 iff no invariant was violated."""
+    import json
+
     from repro.fleet import FleetConfig, run_fleet_campaign, run_scaling_curve
 
+    timeline = bool(args.timeline or args.dashboard)
     config = FleetConfig(
         jobs=args.jobs,
         episodes=args.episodes,
@@ -499,19 +580,76 @@ def _fleet(args, out) -> int:
         fleet_slots=args.slots,
         spares=args.spares,
         duration_hours=args.duration_hours,
+        timeline=timeline,
+        timeline_period_s=args.timeline_period,
     )
     report = run_fleet_campaign(config)
     if not args.no_scaling and args.jobs >= 4:
         report.scaling = run_scaling_curve(config)
     print(report.render(), file=out)
+    violation_alerts = 0
+    if timeline:
+        for episode in report.episodes:
+            counts = (episode.timeline or {}).get("alerts", {}).get("counts", {})
+            violation_alerts += counts.get("violation", 0)
+            print(
+                f"episode {episode.episode} telemetry: "
+                f"{(episode.timeline or {}).get('samples', 0)} samples, "
+                f"{counts.get('total', 0)} alert(s) "
+                f"({counts.get('violation', 0)} violation)",
+                file=out,
+            )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.output}", file=out)
+    if args.dashboard:
+        from repro.obs.dashboard import write_dashboard
+
+        write_dashboard(
+            json.loads(report.to_json(provenance=True)), args.dashboard
+        )
+        print(f"dashboard written to {args.dashboard}", file=out)
     if report.sub_quadratic is False:
         print("scaling curve is not sub-quadratic", file=out)
         return 1
+    if args.fail_on_alerts and violation_alerts:
+        print(
+            f"{violation_alerts} severity-violation alert(s) fired", file=out
+        )
+        return 1
     return 1 if report.violations else 0
+
+
+def _dashboard(args, out) -> int:
+    """Render the HTML dashboard from an existing fleet report."""
+    import json
+    import os
+
+    from repro.obs.dashboard import write_dashboard
+
+    if not os.path.exists(args.report):
+        print(f"report not found: {args.report}", file=sys.stderr)
+        return 2
+    with open(args.report, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if "episodes" not in report:
+        print(
+            f"{args.report} does not look like a fleet report "
+            "(no 'episodes' section)",
+            file=sys.stderr,
+        )
+        return 2
+    if not any(e.get("timeline") for e in report["episodes"]):
+        print(
+            "warning: no episode carries a timeline section; "
+            "re-run `repro fleet --timeline` for charts",
+            file=out,
+        )
+    output = args.output or f"{args.report.removesuffix('.json')}.html"
+    write_dashboard(report, output)
+    print(f"dashboard written to {output}", file=out)
+    return 0
 
 
 def _trace(args, out) -> int:
@@ -565,9 +703,29 @@ def _export_trace(args, out) -> int:
 
 
 def _analyze(args, out) -> int:
-    """Analyze a JSONL trace; exit non-zero on structural problems."""
+    """Analyze a JSONL trace; exit non-zero on structural problems.
+
+    A campaign-report JSON (one top-level object with an ``episodes``
+    list) is dispatched to the timeline reconciliation instead.
+    """
+    import json
+    import os
+
     from repro.obs import analyze_trace, render_analysis, validate_spans
 
+    if os.path.exists(args.trace):
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            head = fh.read(1)
+        if head == "{":
+            # A JSONL trace also starts with "{" but is many documents;
+            # only a whole-file JSON object with episodes is a report.
+            try:
+                with open(args.trace, "r", encoding="utf-8") as fh:
+                    report = json.load(fh)
+            except json.JSONDecodeError:
+                report = None
+            if isinstance(report, dict) and "episodes" in report:
+                return _analyze_report_timelines(args.trace, report, out)
     trace = _load_trace_or_fail(args.trace)
     if trace is None:
         return 2
@@ -577,6 +735,45 @@ def _analyze(args, out) -> int:
     for problem in problems:
         print(f"TRACE PROBLEM: {problem}", file=out)
     return 1 if problems or analysis.crosscheck_problems else 0
+
+
+def _analyze_report_timelines(path: str, report: dict, out) -> int:
+    """Reconcile every episode timeline against its degraded ledger."""
+    from repro.obs.timeseries import crosscheck_timeline
+
+    problems: list[str] = []
+    checked = 0
+    for episode in report.get("episodes", []):
+        timeline = episode.get("timeline")
+        if not timeline:
+            continue
+        checked += 1
+        index = episode.get("episode", "?")
+        tenants = episode.get("tenants", [])
+        episode_problems = crosscheck_timeline(timeline, tenants)
+        problems.extend(f"episode {index}: {p}" for p in episode_problems)
+        counts = timeline.get("alerts", {}).get("counts", {})
+        reconciled = sum(
+            1 for t in tenants if t.get("name") in timeline.get("tenants", {})
+        )
+        print(
+            f"episode {index}: {timeline.get('samples', 0)} samples, "
+            f"{reconciled} tenant ledgers reconciled at 1e-9, "
+            f"{counts.get('total', 0)} alert(s)",
+            file=out,
+        )
+    if not checked:
+        print(
+            f"{path}: no timeline sections to analyze "
+            "(run `repro fleet --timeline`)",
+            file=out,
+        )
+        return 2
+    for problem in problems:
+        print(f"TIMELINE PROBLEM: {problem}", file=out)
+    if not problems:
+        print("timeline crosscheck OK", file=out)
+    return 1 if problems else 0
 
 
 def _bench_history(args, out) -> int:

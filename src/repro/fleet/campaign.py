@@ -55,6 +55,11 @@ class FleetConfig:
     mean_interarrival_s: float = 45.0
     model: str = "gpt2-h1024-L16"
     scale: float = 5e-5
+    #: Telemetry knobs.  Deliberately excluded from the serialized config
+    #: section: a ``--timeline`` run must stay byte-identical to a plain
+    #: run in every field except the new per-episode ``timeline`` block.
+    timeline: bool = False
+    timeline_period_s: float = 60.0
 
     def fleet_spec(self) -> FleetSpec:
         return FleetSpec(
@@ -84,6 +89,12 @@ class FleetEpisodeResult:
     starvation: dict = field(default_factory=dict)
     sim_seconds: float = 0.0
     events_processed: int = 0
+    #: Snapshot of the scheduler-owned deterministic metrics registry
+    #: (counters/gauges/histograms), flushed at episode end.
+    metrics: dict = field(default_factory=dict)
+    #: Sampled telemetry (``TimeSeriesSampler.timeline_dict()``); None
+    #: unless the episode ran with ``timeline=True``.
+    timeline: dict | None = None
 
 
 def aggregate_slos(tenants: list[dict]) -> dict:
@@ -215,6 +226,10 @@ class FleetReport:
                     "starvation": e.starvation,
                     "sim_seconds": round(e.sim_seconds, 6),
                     "events_processed": e.events_processed,
+                    "metrics": e.metrics,
+                    # The one field a --timeline run adds; everything
+                    # else stays byte-identical to a plain run.
+                    **({"timeline": e.timeline} if e.timeline is not None else {}),
                 }
                 for e in self.episodes
             ],
@@ -265,6 +280,16 @@ class FleetReport:
             f"recoveries={agg['recoveries']}",
         ]
         for episode in self.episodes:
+            for name, h in sorted(
+                episode.metrics.get("histograms", {}).items()
+            ):
+                if not h.get("count"):
+                    continue
+                lines.append(
+                    f"  episode {episode.episode} {name}: n={h['count']} "
+                    f"mean={h['mean']:.1f}s p50={h['p50']:.1f}s "
+                    f"p95={h['p95']:.1f}s p99={h['p99']:.1f}s"
+                )
             if episode.starvation:
                 queued = sum(
                     row["queued_grants"]
@@ -361,10 +386,26 @@ def run_fleet_episode(
         scheduler.sim.schedule(
             submit_at, lambda s=spec: scheduler.submit(s)
         )
+    sampler = None
+    if config.timeline:
+        from repro.obs.alerts import AlertEngine, default_fleet_rules
+        from repro.obs.timeseries import TimeSeriesSampler, use_sampler
+
+        sampler = TimeSeriesSampler(
+            period_s=config.timeline_period_s,
+            alert_engine=AlertEngine(
+                default_fleet_rules(config.duration_hours)
+            ),
+        )
+        scheduler.attach_sampler(sampler)
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        scheduler.run()
+        if sampler is not None:
+            with use_sampler(sampler):
+                scheduler.run()
+        else:
+            scheduler.run()
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -379,6 +420,15 @@ def run_fleet_episode(
     result.starvation = scheduler.pool.starvation_summary()
     result.sim_seconds = scheduler.sim.now
     result.events_processed = scheduler.sim.processed
+    result.metrics = scheduler.metrics.snapshot()
+    if sampler is not None:
+        sampler.finalize(scheduler.sim.now)
+        result.timeline = sampler.timeline_dict()
+        from repro.obs.timeseries import crosscheck_timeline
+
+        result.violations.extend(
+            crosscheck_timeline(result.timeline, result.tenants)
+        )
     return result
 
 

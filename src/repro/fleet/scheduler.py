@@ -40,6 +40,7 @@ import numpy as np
 from repro.chaos.invariants import check_restored_states
 from repro.errors import RecoveryError, SimulationError
 from repro.checkpoint.manager import ScheduledJobDriver
+from repro.obs.metrics import MetricsRegistry
 from repro.fleet.spec import FleetSpec, TenantSpec
 from repro.fleet.tenant import TenantRuntime
 from repro.sim.events import Simulator
@@ -139,6 +140,16 @@ class FleetScheduler:
         self.slot_owner: dict[int, str] = {}
         self.submitted: dict[str, float] = {}
         self._finalized: list[str] = []
+        #: Scheduler-owned metrics: only *deterministic* control-plane
+        #: counters/histograms live here (admissions, failures, sim-time
+        #: waits), so flushing a snapshot into the episode record keeps
+        #: same-seed reruns byte-identical.  The kernel-level registry
+        #: (``obs.metrics.active()``) is deliberately NOT installed for
+        #: fleet runs — the thread-pool encoder's adaptive mode choice is
+        #: wall-clock-driven, so its counters vary run to run.
+        self.metrics = MetricsRegistry()
+        #: Optional telemetry sampler (see :meth:`attach_sampler`).
+        self.sampler = None
         trace_rng = np.random.default_rng([*seed, 0])
         mtbf_hours = mtbf_hours or {}
         self.failure_trace = domain_failure_trace(
@@ -149,6 +160,96 @@ class FleetScheduler:
                 event.time * 3600.0,
                 lambda e=event: self._on_domain_event(e),
             )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_sampler(self, sampler) -> None:
+        """Register fleet-wide probes and observe the shared clock.
+
+        Probes only *read* scheduler state; the sampler rides the
+        simulator's ``on_advance`` observer, so ``sim.processed`` /
+        ``sim.now`` — both serialized into the report — are untouched.
+        """
+        self.sampler = sampler
+        sampler.register_probe("admission_queue", lambda t: float(len(self.queue)))
+        sampler.register_probe(
+            "running_tenants",
+            lambda t: float(
+                sum(1 for x in self.tenants.values() if x.state == "running")
+            ),
+        )
+        sampler.register_probe("free_slots", lambda t: float(len(self.free_slots)))
+        sampler.register_probe("down_slots", lambda t: float(len(self.down_slots)))
+        sampler.register_probe(
+            "degraded_tenants",
+            lambda t: float(
+                sum(
+                    1
+                    for x in self.tenants.values()
+                    if x.state == "running"
+                    and x.manager is not None
+                    and x.manager.degraded
+                )
+            ),
+        )
+        sampler.register_probe(
+            "spares_remaining",
+            lambda t: float(self.pool.remaining or 0),
+        )
+        sampler.register_probe(
+            "spare_queue", lambda t: float(len(self.pool.waiting))
+        )
+        sampler.register_probe(
+            "spare_wait_s",
+            lambda t: (
+                max(t - w.requested_at for w in self.pool.waiting)
+                if self.pool.waiting
+                else 0.0
+            ),
+        )
+        for tier in ("host", "disk", "remote"):
+            sampler.register_probe(
+                f"{tier}_bytes", self._tier_bytes_probe(tier)
+            )
+        sampler.attach(self.sim)
+
+    def _tier_bytes_probe(self, tier: str):
+        def probe(t: float) -> float:
+            total = 0
+            for tenant in self.tenants.values():
+                engine = tenant.engine
+                if engine is not None:
+                    total += getattr(engine, tier).total_bytes
+            return float(total)
+
+        return probe
+
+    def _tenant_probes(self, tenant: TenantRuntime) -> dict:
+        """Per-tenant signals sampled while the tenant is live."""
+        name = tenant.spec.name
+        manager = tenant.manager
+        engine = tenant.engine
+        job = tenant.job
+        return {
+            "degraded": lambda t: 1.0 if manager.degraded else 0.0,
+            "degraded_age_s": lambda t: (
+                t - manager.degraded_since if manager.degraded else 0.0
+            ),
+            "k": lambda t: float(engine.config.k),
+            "m": lambda t: float(engine.config.m),
+            "share_remote": lambda t: (
+                self.remote_arbiter.claims[name].fraction
+                if name in self.remote_arbiter.claims
+                else 0.0
+            ),
+            "share_trunk": lambda t: (
+                self.trunk_arbiter.claims[name].fraction
+                if name in self.trunk_arbiter.claims
+                else 0.0
+            ),
+            "iteration": lambda t: float(job.iteration),
+        }
 
     # ------------------------------------------------------------------
     # Admission
@@ -199,6 +300,17 @@ class FleetScheduler:
         )
         tenant.driver = driver
         driver.start(spec.iteration_s)
+        self.metrics.counter("fleet.admissions").inc()
+        self.metrics.histogram("fleet.admission_wait_s").observe(
+            self.sim.now - self.submitted[spec.name]
+        )
+        if self.sampler is not None:
+            self.sampler.watch_tenant(
+                spec.name,
+                tenant.manager,
+                self._tenant_probes(tenant),
+                t=self.sim.now,
+            )
         self.cycles.append(
             {
                 "kind": "admit",
@@ -217,6 +329,10 @@ class FleetScheduler:
         return len(racks) > 1
 
     def _apply_time_model(self, tenant: TenantRuntime, tm: TimeModel) -> None:
+        if tenant.job is None:
+            # Already released: a refused/error recovery finalizes the
+            # tenant before the failure handler's cleanup runs.
+            return
         tenant.job.time_model = tm
         tenant.engine.network.time_model = tm
 
@@ -321,6 +437,16 @@ class FleetScheduler:
                 self.sim.schedule(
                     self._depot_delay(), lambda: self._on_depot_return()
                 )
+        self.metrics.counter("fleet.domain_failures").inc()
+        self.metrics.counter(f"fleet.domain_failures.{event.kind}").inc()
+        if self.sampler is not None:
+            self.sampler.note_event(
+                self.sim.now,
+                "domain_failure",
+                domain=f"{event.kind}{event.index}",
+                slots=len(slots),
+                tenants=sorted(by_tenant),
+            )
         self.cycles.append(
             {
                 "kind": "domain_failure",
@@ -359,6 +485,15 @@ class FleetScheduler:
     def _handle_tenant_failure(self, tenant, ranks: set[int], event) -> None:
         name = tenant.spec.name
         tenant.failure_events += 1
+        self.metrics.counter("fleet.tenant_failures").inc()
+        if self.sampler is not None:
+            self.sampler.note_event(
+                self.sim.now,
+                "tenant_failure",
+                tenant=name,
+                cause=f"{event.kind}{event.index}",
+                ranks=sorted(int(r) for r in ranks),
+            )
         driver = tenant.driver
         if not driver.done:
             driver.pause()
@@ -401,6 +536,9 @@ class FleetScheduler:
             self._apply_time_model(tenant, self.base_time_model)
             self._release_shares(tenant, held)
         outcome = "backup" if report.tier == "remote" else report.tier
+        self.metrics.counter("fleet.recoveries").inc()
+        self.metrics.counter(f"fleet.recoveries.{outcome}").inc()
+        self.metrics.histogram("fleet.recovery_s").observe(report.recovery_time)
         tenant.harness.observe(outcome, report.version)
         cycle["outcome"] = outcome
         cycle["version"] = report.version
@@ -454,6 +592,11 @@ class FleetScheduler:
         for rank in joined:
             slot = tenant.slots[rank]
             self.down_slots.discard(slot)
+            self.metrics.counter("fleet.spare_joins").inc()
+            if self.sampler is not None:
+                self.sampler.note_event(
+                    self.sim.now, "spare_join", tenant=name, rank=int(rank)
+                )
             self.cycles.append(
                 {
                     "kind": "join",
@@ -478,6 +621,15 @@ class FleetScheduler:
         tenant.outcome_detail = detail
         if tenant.driver is not None:
             tenant.driver.pause()
+        self.metrics.counter(f"fleet.tenants_{state}").inc()
+        if tenant.manager is not None:
+            for entry in tenant.manager.stats.redundancy_ledger:
+                self.metrics.histogram("fleet.degraded_window_s").observe(
+                    entry["degraded_seconds"]
+                )
+        if self.sampler is not None:
+            # Freeze the series before release() drops the manager.
+            self.sampler.unwatch(name, self.sim.now)
         self.violations.extend(
             v for v in tenant.harness.violations
         )

@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.obs import metrics as _metrics_mod
+from repro.obs.alerts import AlertEngine, AlertRule, default_fleet_rules
 from repro.obs.critical_path import (
     IdleSlotReport,
     PipelineCriticalPath,
@@ -32,8 +33,16 @@ from repro.obs.critical_path import (
     thread_utilization,
     tier_byte_flow,
 )
+from repro.obs.dashboard import render_dashboard, write_dashboard
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.provenance import provenance_stamp
+from repro.obs.timeseries import (
+    SeriesBuffer,
+    TenantSeries,
+    TimeSeriesSampler,
+    crosscheck_timeline,
+    use_sampler,
+)
 from repro.obs.regression import (
     MetricDelta,
     RegressionResult,
@@ -114,6 +123,8 @@ def record_phases(tracer, parent, breakdown, kind: str) -> None:
 
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "Gauge",
     "Histogram",
@@ -124,14 +135,19 @@ __all__ = [
     "NullTracer",
     "PipelineCriticalPath",
     "RegressionResult",
+    "SeriesBuffer",
     "Span",
+    "TenantSeries",
+    "TimeSeriesSampler",
     "Trace",
     "TraceAnalysis",
     "Tracer",
     "analyze_trace",
     "append_history",
     "check_regression",
+    "crosscheck_timeline",
     "crosscheck_totals",
+    "default_fleet_rules",
     "export_chrome_trace",
     "get_tracer",
     "history_entry",
@@ -144,12 +160,15 @@ __all__ = [
     "provenance_stamp",
     "record_phases",
     "render_analysis",
+    "render_dashboard",
     "tier_byte_flow",
     "summarize",
     "thread_utilization",
+    "use_sampler",
     "use_tracer",
     "validate_chrome_trace",
     "validate_spans",
     "write_chrome_trace",
+    "write_dashboard",
     "write_jsonl",
 ]

@@ -16,7 +16,9 @@ Design constraints, in order of importance:
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Dict, Optional
 
 
@@ -65,14 +67,24 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / sum / min / max.
+    """Streaming summary plus a bounded reservoir for percentiles.
 
-    A full reservoir would let traces replay distributions, but the
-    summary is enough for overhead breakdowns and keeps memory bounded
-    no matter how many encode calls a campaign makes.
+    count / sum / min / max stream exactly; p50/p95/p99 come from an
+    Algorithm-R reservoir of :data:`RESERVOIR_SIZE` samples, so memory
+    stays bounded no matter how many encode calls a campaign makes.  The
+    reservoir's rng is *private* and seeded from the histogram name —
+    observation never touches any global random stream (the PR-3
+    tracing-changes-nothing guarantee), and the same observe sequence
+    yields the same percentiles on every run (snapshots are embedded in
+    deterministic campaign reports).
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+    #: Reservoir capacity; below it, percentiles are exact.
+    RESERVOIR_SIZE = 512
+
+    __slots__ = (
+        "name", "count", "sum", "min", "max", "_lock", "_reservoir", "_rng"
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -81,6 +93,8 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._lock = threading.Lock()
+        self._reservoir: list[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -90,19 +104,37 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if len(self._reservoir) < self.RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile from the reservoir (None if empty)."""
+        if not self._reservoir:
+            return None
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, int(q / 100.0 * len(ordered)))
+        return ordered[rank]
+
     def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99),
+            }
 
 
 class MetricsRegistry:

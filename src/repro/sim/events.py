@@ -43,6 +43,12 @@ class Simulator:
         self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        #: Optional ``(old_now, new_now)`` observer invoked before each clock
+        #: advance.  Telemetry hangs off this hook instead of scheduling its
+        #: own events so that ``processed``/``now`` — both serialized into
+        #: reports — are untouched by observation.  The observer must not
+        #: schedule events or mutate simulation state.
+        self.on_advance: Callable[[float, float], None] | None = None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` ``delay`` seconds from now.
@@ -67,15 +73,21 @@ class Simulator:
         while self._queue:
             time, _, handle, callback = self._queue[0]
             if until is not None and time > until:
+                if self.on_advance is not None and until > self.now:
+                    self.on_advance(self.now, until)
                 self.now = until
                 return
             heapq.heappop(self._queue)
             if handle.cancelled:
                 continue
+            if self.on_advance is not None and time > self.now:
+                self.on_advance(self.now, time)
             self.now = time
             self._processed += 1
             callback()
         if until is not None:
+            if self.on_advance is not None and until > self.now:
+                self.on_advance(self.now, until)
             self.now = max(self.now, until)
 
     @property
