@@ -194,9 +194,13 @@ def run_benchmark(
             code = CauchyRSCode(CodeParams(k=k, m=m, w=w))
             block = _aligned_block_size(shape_payload, k, w)
             best, _timings = autotune_mod.autotune(code, block, repeats=repeats)
+            best_decode, _ = autotune_mod.autotune_decode(
+                code, block, repeats=repeats
+            )
             tuned[f"({k},{m},{w})@{block}"] = (
                 f"{best.schedule_kind}/{best.decompose_kind}"
                 f"/{best.chunk_bytes // 1024}K"
+                f" decode/{best_decode // 1024}K"
             )
         results.append(
             _bench_shape(k, m, w, shape_payload, repeats, threads, sweep=not quick)

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.errors import RecoveryError
+from repro.errors import CheckpointError, RecoveryError
 from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
 from repro.chaos.invariants import (
     check_redundancy,
@@ -37,10 +37,9 @@ from repro.chaos.invariants import (
 )
 from repro.checkpoint.job import TrainingJob
 from repro.checkpoint.manager import CheckpointManager
-from repro.checkpoint.replication import GeminiReplicationEngine
-from repro.checkpoint.sync_remote import SyncRemoteEngine
-from repro.checkpoint.two_phase import TwoPhaseEngine
-from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.core.eccheck import ECCheckConfig
+from repro.core.registry import build_engine
+from repro.core.registry import engine_names as registry_engine_names
 from repro.core.integrity import corrupt_buffer
 from repro.obs.timeseries import TimeSeriesSampler
 from repro.parallel.strategy import ParallelismSpec
@@ -214,15 +213,27 @@ def _build_engine(engine_name: str, config: ChaosConfig, job_seed: int):
         scale=config.scale,
         seed=job_seed,
     )
-    if engine_name == "eccheck":
-        return job, ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
-    if engine_name == "base1":
-        return job, SyncRemoteEngine(job)
-    if engine_name == "base2":
-        return job, TwoPhaseEngine(job)
-    if engine_name == "base3":
-        return job, GeminiReplicationEngine(job, group_size=2)
-    raise ValueError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+    try:
+        engine = build_engine(
+            engine_name,
+            job,
+            ECCheckConfig(k=2, m=2, encode_threads=2, engine=engine_name),
+            group_size=2,
+        )
+    except CheckpointError as exc:
+        raise ValueError(
+            f"unknown engine {engine_name!r}; choose from "
+            f"{', '.join(registry_engine_names())}"
+        ) from exc
+    if hasattr(engine, "replicate_iteration") and engine_name not in ENGINES:
+        # The generic campaign's torn-version accounting assumes crashes
+        # happen inside *saves*; streaming engines also crash inside
+        # replicate calls, which the replay-aware hybrid campaign models.
+        raise ValueError(
+            f"engine {engine_name!r} streams per-iteration updates — "
+            f"run it through the hybrid campaign (`repro hybrid`) instead"
+        )
+    return job, engine
 
 
 def _sample_failures(mode: str, job, rng: np.random.Generator) -> set[int]:

@@ -1,0 +1,799 @@
+"""Replay-aware differential chaos campaign: eccheck vs gradrep vs hybrid.
+
+The generic campaign (:mod:`repro.chaos.campaign`) runs each engine
+against *its own* random episode.  This campaign is differential: one
+**scenario** — round structure, crash draws, corruption draws, failure
+sets — is drawn once per episode from ``default_rng([seed, episode])``
+and then every engine runs against that same scenario with the same
+job seed, so the per-engine outcomes are directly comparable.
+
+Per engine and episode the harness checks the full replay-aware oracle
+(:func:`repro.chaos.invariants.expected_recovery`):
+
+* outcome tier and restored version;
+* **replay depth** — exactly the committed, intact, contiguous
+  gradient-log tail, re-derived independently from raw survivor storage;
+* **resume iteration** — the absolute iteration the recovered state must
+  correspond to, byte-identical to the snapshot taken when training
+  first passed that iteration;
+* **torn entries are never replayed** — a crash injected mid-append
+  leaves a torn log entry; resuming at or past its iteration on the same
+  base is a violation;
+* redundancy re-established (anchor + log copies, EC chunks) and the
+  manager's ``iterations_lost`` ledger exact.
+
+Every run executes under a collecting tracer and reconciles the traced
+save/replicate/restore phase sums against the report breakdowns at
+1e-9 relative tolerance; the reconciliation tables are embedded in the
+report so ``repro analyze`` can re-verify them offline.
+
+The campaign's product is the **crossover table**: steady-state overhead
+per iteration (checkpoint stalls + replication stalls) against average
+iterations lost per failure, and for each engine pair the failure
+frequency (MTBF in iterations) at which their total costs cross.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.errors import CheckpointError, RecoveryError
+from repro.chaos.campaign import (
+    FAILURE_MODES,
+    FAILURE_MODE_WEIGHTS,
+    P_CORRUPT,
+    P_CRASH,
+)
+from repro.chaos.injection import CrashInjector, CrashPlan, InjectedCrash
+from repro.chaos.invariants import (
+    check_redundancy,
+    check_restored_states,
+    expected_recovery,
+)
+from repro.checkpoint.job import TrainingJob
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.eccheck import ECCheckConfig
+from repro.core.integrity import corrupt_buffer
+from repro.core.registry import build_engine
+from repro.core.registry import engine_names as registry_engine_names
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.trace_io import crosscheck_totals, phase_totals
+from repro.parallel.strategy import ParallelismSpec
+from repro.parallel.topology import ClusterSpec
+from repro.sim.failures import (
+    concurrent_failure_counts,
+    poisson_failure_trace,
+    sample_correlated_failures,
+    sample_node_failures,
+)
+
+#: The differential triple; order fixes the crossover table rows.
+HYBRID_ENGINES = ("eccheck", "gradrep", "hybrid")
+
+#: Crash points that fire inside ``replicate_iteration`` (a torn *log
+#: entry*) rather than inside ``save`` (a torn *version*).
+GRAD_POINTS = (
+    "pre_grad_store",
+    "mid_grad_replicate",
+    "pre_grad_commit",
+    "mid_grad_broadcast",
+)
+
+#: Storage keys the corruption draw may target, per payload family.
+_CORRUPTIBLE_KINDS = ("chunk", "grad", "apkt")
+
+_TESTBED = dict(num_nodes=4, gpus_per_node=2, nodes_per_rack=2)
+
+
+@dataclass(frozen=True)
+class HybridChaosConfig:
+    """Campaign parameters (defaults = the CI smoke shape)."""
+
+    episodes: int = 20
+    seed: int = 0
+    engines: tuple[str, ...] = HYBRID_ENGINES
+    max_rounds: int = 3
+    #: Checkpoint interval — also scales the log-depth alert thresholds.
+    interval: int = 3
+    model: str = "gpt2-h1024-L16"
+    scale: float = 5e-4
+    #: Baseline iteration seconds, used only to convert "iterations lost
+    #: per failure" into seconds for the crossover computation.
+    iteration_s: float = 1.0
+    #: Attach a per-run telemetry timeline (log-depth signal + online
+    #: alert rules) sampled against the derived report clock.
+    timeline: bool = False
+    timeline_period_s: float = 60.0
+
+
+def hybrid_alert_rules(interval: int) -> list[AlertRule]:
+    """Log-depth SLOs for streaming engines.
+
+    A healthy run rebases the gradient log at every checkpoint, so depth
+    stays near ``interval``; a depth past ``3x`` means rebases are being
+    skipped (warning) and past ``8x`` the replay tail has run away — the
+    bounded-replay promise of the hybrid design is broken (violation).
+    """
+    return [
+        AlertRule(
+            name="log-depth-high",
+            signal="log_depth",
+            reduce="last",
+            op=">",
+            threshold=3.0 * interval,
+            severity="warning",
+            description=(
+                "gradient-log depth exceeded 3x the checkpoint interval: "
+                "rebases are not keeping up"
+            ),
+        ),
+        AlertRule(
+            name="log-depth-runaway",
+            signal="log_depth",
+            reduce="last",
+            op=">",
+            threshold=8.0 * interval,
+            severity="violation",
+            description=(
+                "gradient-log depth exceeded 8x the checkpoint interval: "
+                "replay is no longer bounded"
+            ),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Scenario: drawn once per episode, replayed verbatim by every engine.
+# ----------------------------------------------------------------------
+def _sample_failures(mode: str, cluster, rng: np.random.Generator) -> set[int]:
+    """Cluster-shape-only failure draw (no job needed, so the rng stream
+    cannot depend on which engine later consumes the scenario)."""
+    n = cluster.num_nodes
+    if mode == "none":
+        return set()
+    if mode == "independent":
+        return sample_node_failures(n, 0.3, rng)
+    if mode == "correlated":
+        return sample_correlated_failures(cluster, 0.2, 0.15, rng)
+    if mode == "poisson":
+        trace = poisson_failure_trace(
+            n, mtbf_hours=float(rng.uniform(20.0, 120.0)),
+            duration_hours=24.0, rng=rng,
+        )
+        counts = concurrent_failure_counts(trace, 1.0, duration_hours=24.0)
+        count = min(n, counts[int(rng.integers(len(counts)))])
+        return {int(x) for x in rng.choice(n, size=count, replace=False)}
+    if mode == "targeted":
+        size = int(rng.integers(1, n))
+        return {int(x) for x in rng.choice(n, size=size, replace=False)}
+    raise ValueError(f"unknown failure mode {mode!r}")
+
+
+def draw_scenario(config: HybridChaosConfig, episode: int) -> dict:
+    """The episode's shared adversity, as plain data.
+
+    Engine-dependent choices (which crash point, which stored payload to
+    rot) are deferred: the scenario carries uniform floats (``u``) that
+    each engine maps onto its own crash-point tuple / sorted candidate
+    key list, so every engine faces the *same draw* even though their
+    crash surfaces differ.
+    """
+    rng = np.random.default_rng([config.seed, episode])
+    cluster = ClusterSpec(**_TESTBED)
+    rounds = []
+    for _ in range(int(rng.integers(1, config.max_rounds + 1))):
+        spec: dict = {
+            "iterations": int(rng.integers(2, config.interval + 3)),
+            "crash": None,
+            "corrupt": None,
+        }
+        if rng.random() < P_CRASH:
+            spec["crash"] = {
+                "u": float(rng.random()),
+                "after": int(rng.integers(0, 3)),
+            }
+        if rng.random() < P_CORRUPT:
+            spec["corrupt"] = {
+                "u": float(rng.random()),
+                "pos": float(rng.random()),
+                "mask": int(rng.integers(1, 256)),
+            }
+        mode = str(rng.choice(FAILURE_MODES, p=FAILURE_MODE_WEIGHTS))
+        failed = _sample_failures(mode, cluster, rng)
+        spec["failure_mode"] = mode
+        spec["failed"] = sorted(
+            int(n) for n in failed if n < cluster.num_nodes
+        )
+        rounds.append(spec)
+    return {"rounds": rounds}
+
+
+def _pick(u: float, items: int) -> int:
+    return min(int(u * items), items - 1)
+
+
+def _corrupt_from_spec(engine, spec: dict) -> str | None:
+    """Rot one stored payload chosen by the scenario's uniform draws."""
+    candidates = []
+    for node in range(engine.job.cluster.num_nodes):
+        for key in engine.host.keys(node):
+            if isinstance(key, tuple) and key[0] in _CORRUPTIBLE_KINDS:
+                candidates.append((node, key))
+    if not candidates:
+        return None
+    candidates.sort(key=repr)
+    node, key = candidates[_pick(spec["u"], len(candidates))]
+    payload = engine.host.get(node, key)
+    corrupt_buffer(
+        payload,
+        byte_index=_pick(spec["pos"], payload.size),
+        mask=spec["mask"],
+    )
+    return f"node {node} {key}"
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class HybridEpisodeResult:
+    """One engine's run through one shared scenario."""
+
+    episode: int
+    engine: str
+    cycles: list[dict] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    #: Steady-state accounting for the crossover table.
+    metrics: dict = field(default_factory=dict)
+    #: Traced-vs-reported phase sums per report kind, for ``repro
+    #: analyze`` to re-verify offline.
+    phases: dict = field(default_factory=dict)
+    timeline: dict | None = None
+
+
+@dataclass
+class HybridCampaignReport:
+    """All runs plus the per-engine crossover analysis."""
+
+    config: HybridChaosConfig
+    episodes: list[HybridEpisodeResult]
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"episode {e.episode} ({e.engine}): {v}"
+            for e in self.episodes
+            for v in e.violations
+        ]
+
+    @property
+    def cycles(self) -> list[dict]:
+        return [c for e in self.episodes for c in e.cycles]
+
+    def alert_counts(self) -> dict[str, int]:
+        counts = {"warning": 0, "violation": 0}
+        for e in self.episodes:
+            if e.timeline and "alerts" in e.timeline:
+                for key in counts:
+                    counts[key] += e.timeline["alerts"]["counts"].get(key, 0)
+        return counts
+
+    # -- crossover ------------------------------------------------------
+    def engine_summary(self) -> dict[str, dict]:
+        """Per-engine steady-state overhead vs failure-time loss."""
+        summary: dict[str, dict] = {}
+        for name in self.config.engines:
+            runs = [e for e in self.episodes if e.engine == name]
+            iters = sum(r.metrics.get("iterations", 0) for r in runs)
+            overhead = sum(r.metrics.get("overhead_s", 0.0) for r in runs)
+            recoveries = sum(r.metrics.get("recoveries", 0) for r in runs)
+            lost = sum(r.metrics.get("iterations_lost", 0) for r in runs)
+            replayed = sum(
+                r.metrics.get("replayed_iterations", 0) for r in runs
+            )
+            refusals = sum(r.metrics.get("refusals", 0) for r in runs)
+            summary[name] = {
+                "iterations": iters,
+                "overhead_s": round(overhead, 9),
+                "overhead_s_per_iteration": round(overhead / iters, 9)
+                if iters
+                else 0.0,
+                "recoveries": recoveries,
+                "refusals": refusals,
+                "iterations_lost": lost,
+                "avg_iterations_lost": round(lost / recoveries, 9)
+                if recoveries
+                else 0.0,
+                "replayed_iterations": replayed,
+            }
+        return summary
+
+    def crossover_table(self) -> list[dict]:
+        """Pairwise failure-frequency break-even points.
+
+        With per-iteration overhead ``oh`` (seconds) and ``lost``
+        iterations per failure, the expected cost per iteration under a
+        mean time between failures of ``M`` iterations is ``oh + lost *
+        iteration_s / M``.  Two engines' costs cross at ``M* = (lost_a -
+        lost_b) * iteration_s / (oh_b - oh_a)``; a negative ``M*`` means
+        one engine is cheaper at every failure rate (it dominates).
+        """
+        summary = self.engine_summary()
+        s = self.config.iteration_s
+        rows: list[dict] = []
+        names = list(self.config.engines)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                oh_a = summary[a]["overhead_s_per_iteration"]
+                oh_b = summary[b]["overhead_s_per_iteration"]
+                lost_a = summary[a]["avg_iterations_lost"]
+                lost_b = summary[b]["avg_iterations_lost"]
+                row: dict = {"pair": [a, b]}
+                d_oh = oh_b - oh_a
+                d_lost = lost_a - lost_b
+                if abs(d_oh) < 1e-15 and abs(d_lost) < 1e-15:
+                    row["verdict"] = "equivalent"
+                elif d_oh == 0.0:
+                    row["verdict"] = (
+                        f"{a if d_lost < 0 else b} dominates (equal "
+                        f"overhead, lower loss)"
+                    )
+                else:
+                    mtbf = d_lost * s / d_oh
+                    if mtbf <= 0:
+                        winner = a if (oh_a <= oh_b and lost_a <= lost_b) else b
+                        row["verdict"] = (
+                            f"{winner} dominates (lower overhead and loss)"
+                        )
+                    else:
+                        # The engine with lower loss wins when failures
+                        # are frequent (MTBF below the crossover).
+                        frequent_winner = a if lost_a < lost_b else b
+                        row["crossover_mtbf_iterations"] = round(mtbf, 9)
+                        row["verdict"] = (
+                            f"{frequent_winner} cheaper when failures "
+                            f"arrive more often than every "
+                            f"{round(mtbf, 3)} iterations"
+                        )
+                rows.append(row)
+        return rows
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form, deliberately provenance-free so identical
+        campaigns compare byte-equal (determinism tests rely on it)."""
+        return {
+            "config": {
+                "episodes": self.config.episodes,
+                "seed": self.config.seed,
+                "engines": list(self.config.engines),
+                "max_rounds": self.config.max_rounds,
+                "interval": self.config.interval,
+                "model": self.config.model,
+                "scale": self.config.scale,
+                "iteration_s": self.config.iteration_s,
+            },
+            "total_recovery_cycles": len(self.cycles),
+            "engine_summary": self.engine_summary(),
+            "crossover": self.crossover_table(),
+            "violations": self.violations,
+            "alerts": self.alert_counts(),
+            "episodes": [
+                {
+                    "episode": e.episode,
+                    "engine": e.engine,
+                    "cycles": e.cycles,
+                    "violations": e.violations,
+                    "metrics": e.metrics,
+                    "phases": e.phases,
+                    **({"timeline": e.timeline} if e.timeline else {}),
+                }
+                for e in self.episodes
+            ],
+        }
+
+    def to_json(self, provenance: bool = True) -> str:
+        payload = self.to_dict()
+        if provenance:
+            from repro.obs.provenance import provenance_stamp
+
+            payload["provenance"] = provenance_stamp()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """ASCII crossover table plus violation and alert counts."""
+        summary = self.engine_summary()
+        alerts = self.alert_counts()
+        lines = [
+            f"hybrid campaign: {self.config.episodes} episodes x "
+            f"{len(self.config.engines)} engines, "
+            f"{len(self.cycles)} recovery cycles, "
+            f"{len(self.violations)} violations, "
+            f"{alerts['violation']} alert violations",
+            f"{'engine':<10s} {'overhead s/iter':>16s} "
+            f"{'avg iters lost':>15s} {'recoveries':>11s} "
+            f"{'refusals':>9s} {'replayed':>9s}",
+        ]
+        for name, row in summary.items():
+            lines.append(
+                f"{name:<10s} {row['overhead_s_per_iteration']:>16.6f} "
+                f"{row['avg_iterations_lost']:>15.3f} "
+                f"{row['recoveries']:>11d} {row['refusals']:>9d} "
+                f"{row['replayed_iterations']:>9d}"
+            )
+        lines.append("crossover (failure frequency where costs cross):")
+        for row in self.crossover_table():
+            pair = " vs ".join(row["pair"])
+            lines.append(f"  {pair}: {row['verdict']}")
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _build_engine(engine_name: str, config: HybridChaosConfig, job_seed: int):
+    job = TrainingJob.create(
+        model=config.model,
+        cluster=ClusterSpec(**_TESTBED),
+        strategy=ParallelismSpec(tensor_parallel=2, pipeline_parallel=4),
+        scale=config.scale,
+        seed=job_seed,
+    )
+    try:
+        engine = build_engine(
+            engine_name,
+            job,
+            ECCheckConfig(k=2, m=2, encode_threads=2, engine=engine_name),
+            group_size=2,
+        )
+    except CheckpointError as exc:
+        raise ValueError(
+            f"unknown engine {engine_name!r}; choose from "
+            f"{', '.join(registry_engine_names())}"
+        ) from exc
+    return job, engine
+
+
+def run_hybrid_episode(
+    engine_name: str,
+    episode: int,
+    config: HybridChaosConfig,
+    scenario: dict | None = None,
+) -> HybridEpisodeResult:
+    """Run one engine through the episode's shared scenario.
+
+    Always traced: the phase-reconciliation check is part of the
+    campaign's contract, not an option.
+    """
+    scenario = scenario or draw_scenario(config, episode)
+    sampler = None
+    if config.timeline:
+        sampler = TimeSeriesSampler(
+            period_s=config.timeline_period_s,
+            alert_engine=AlertEngine(hybrid_alert_rules(config.interval)),
+        )
+    with obs.use_tracer() as tracer:
+        result = _run_episode_impl(
+            engine_name, episode, config, scenario, sampler
+        )
+        spans = [r for r in tracer.records() if r["type"] == "span"]
+    _reconcile_phases(result, spans)
+    if sampler is not None:
+        result.timeline = sampler.timeline_dict()
+    return result
+
+
+def _reconcile_phases(result: HybridEpisodeResult, spans: list[dict]) -> None:
+    """Traced phase sums must equal report breakdowns at 1e-9."""
+    for kind, breakdowns in result.phases.pop("_breakdowns").items():
+        traced = phase_totals(spans, kind=kind)
+        if not traced and not breakdowns:
+            continue
+        reported: dict[str, float] = {}
+        for breakdown in breakdowns:
+            for key, value in breakdown.items():
+                reported[key] = reported.get(key, 0.0) + float(value)
+        for problem in crosscheck_totals(traced, breakdowns):
+            result.violations.append(f"{kind} phase reconciliation: {problem}")
+        result.phases[kind] = {
+            "traced": {k: traced[k] for k in sorted(traced)},
+            "reported": {k: reported[k] for k in sorted(reported)},
+        }
+
+
+def _run_episode_impl(
+    engine_name: str,
+    episode: int,
+    config: HybridChaosConfig,
+    scenario: dict,
+    sampler: TimeSeriesSampler | None,
+) -> HybridEpisodeResult:
+    result = HybridEpisodeResult(episode=episode, engine=engine_name)
+    job, engine = _build_engine(
+        engine_name, config, job_seed=config.seed * 7919 + episode
+    )
+    manager = CheckpointManager(job, engine, interval=config.interval)
+
+    #: Bytes of every iteration training passed — replay-aware recovery
+    #: can resume at any logged iteration, not just checkpoint edges.
+    iteration_states: dict[int, dict] = {}
+    version_iteration: dict[int, int] = {}
+    torn_versions: set[int] = set()
+    #: ``(base_version, iteration)`` of log entries torn by a crash
+    #: injected mid-append — these must never be replayed.
+    torn_entries: list[tuple[int | None, int]] = []
+    recovery_reports: list = []
+    iterations = 0
+    refusals = 0
+    drained_saves = 0
+    drained_reps = 0
+    t = 0.0
+
+    if sampler is not None:
+        sampler.register_probe(
+            "checkpoints", lambda _t: float(manager.stats.checkpoints)
+        )
+        sampler.register_probe(
+            "replications", lambda _t: float(manager.stats.replications)
+        )
+        sampler.register_probe(
+            "recoveries", lambda _t: float(manager.stats.recoveries)
+        )
+        sampler.register_probe(
+            "iterations_lost",
+            lambda _t: float(manager.stats.iterations_lost),
+        )
+        sampler.register_probe(
+            "log_depth",
+            lambda _t: float(engine.log_depth())
+            if hasattr(engine, "log_depth")
+            else 0.0,
+        )
+        sampler.register_probe(
+            "torn_entries", lambda _t: float(len(torn_entries))
+        )
+        sampler.sample(0.0, "baseline")
+
+    def drain_reports() -> None:
+        nonlocal drained_saves, drained_reps, t
+        fresh = manager.stats.save_reports[drained_saves:]
+        drained_saves = len(manager.stats.save_reports)
+        for report in fresh:
+            t += float(report.checkpoint_time)
+            version_iteration.setdefault(
+                report.version,
+                manager._checkpoint_iteration_of_version[report.version],
+            )
+        reps = manager.stats.replicate_reports[drained_reps:]
+        drained_reps = len(manager.stats.replicate_reports)
+        for report in reps:
+            t += float(report.replicate_time)
+        if sampler is not None and (fresh or reps):
+            sampler.advance(t)
+
+    def advance_once() -> None:
+        nonlocal iterations
+        job.advance()
+        iterations += 1
+        # Snapshot before the step: neither save nor replicate mutates
+        # training state, and a crashed step must not lose the snapshot.
+        iteration_states[job.iteration] = job.snapshot_states()
+
+    for round_spec in scenario["rounds"]:
+        # -- train + checkpoint + replicate -----------------------------
+        for _ in range(round_spec["iterations"]):
+            advance_once()
+            manager.step()
+            drain_reports()
+
+        # -- maybe crash a save or a replicate mid-flight ---------------
+        crash_point = None
+        crash_during = None
+        if round_spec["crash"] is not None and engine.crash_points:
+            points = engine.crash_points
+            point = points[_pick(round_spec["crash"]["u"], len(points))]
+            plan = CrashPlan(point=point, after=round_spec["crash"]["after"])
+            advance_once()
+            engine.crash_injector = CrashInjector(plan)
+            try:
+                manager.step()
+            except InjectedCrash:
+                crash_point = point
+                if point in GRAD_POINTS:
+                    crash_during = "replicate"
+                    base = getattr(engine, "log", None)
+                    torn_entries.append(
+                        (base.base_version if base else None, job.iteration)
+                    )
+                    if sampler is not None:
+                        sampler.note_event(t, "replicate_crash", point=point)
+                else:
+                    crash_during = "save"
+                    torn_versions.add(engine.version)
+                    if sampler is not None:
+                        sampler.note_event(t, "save_crash", point=point)
+            finally:
+                engine.crash_injector = None
+            if crash_point is None:
+                drain_reports()
+
+        # -- maybe rot a stored payload ---------------------------------
+        corrupted = None
+        if round_spec["corrupt"] is not None:
+            corrupted = _corrupt_from_spec(engine, round_spec["corrupt"])
+            if sampler is not None and corrupted is not None:
+                sampler.note_event(t, "corruption", where=corrupted)
+
+        # -- the shared failure -----------------------------------------
+        failed = set(round_spec["failed"])
+        mode = round_spec["failure_mode"]
+        if not failed and crash_point is None and corrupted is None:
+            continue  # nothing happened this round
+
+        # -- oracle, then recover ---------------------------------------
+        pred = expected_recovery(engine, failed)
+        at_iteration = job.iteration
+        lost_before = manager.stats.iterations_lost
+        cycle = {
+            "crash_point": crash_point,
+            "crash_during": crash_during,
+            "failure_mode": mode,
+            "num_failed": len(failed),
+            "corrupted": corrupted is not None,
+            "expected": pred["outcome"],
+            "expected_replayed": pred["replayed"],
+        }
+        if sampler is not None:
+            sampler.note_event(t, "failure", mode=mode, ranks=sorted(failed))
+        try:
+            report = manager.on_failure(failed)
+        except RecoveryError as exc:
+            cycle["outcome"] = "refused"
+            result.cycles.append(cycle)
+            refusals += 1
+            if pred["outcome"] != "refused":
+                result.violations.append(
+                    f"refused recovery although v{pred['version']} was "
+                    f"recoverable from {pred['outcome']} with "
+                    f"{pred['replayed']} replayed iterations "
+                    f"(failed={sorted(failed)}, crash={crash_point}): {exc}"
+                )
+            break  # the job is down; this engine's episode ends here
+        except Exception as exc:  # noqa: BLE001 — any leak is a finding
+            cycle["outcome"] = "engine_error"
+            result.cycles.append(cycle)
+            result.violations.append(
+                f"recovery raised {type(exc).__name__} instead of "
+                f"recovering or refusing cleanly "
+                f"(failed={sorted(failed)}, crash={crash_point}): {exc}"
+            )
+            break
+
+        recovery_reports.append(report)
+        tier = getattr(report, "tier", "memory")
+        outcome = "backup" if tier == "remote" else tier
+        replayed = getattr(report, "replayed_iterations", 0)
+        cycle.update(
+            outcome=outcome,
+            version=report.version,
+            replayed=replayed,
+            resume_iteration=job.iteration,
+            iterations_lost=manager.stats.iterations_lost - lost_before,
+        )
+        result.cycles.append(cycle)
+        if sampler is not None:
+            t += float(report.recovery_time)
+            sampler.advance(t)
+
+        if pred["outcome"] == "refused":
+            result.violations.append(
+                f"engine restored v{report.version} although the oracle "
+                f"found no recoverable state (failed={sorted(failed)})"
+            )
+            break
+        if outcome != pred["outcome"] or report.version != pred["version"]:
+            result.violations.append(
+                f"restored v{report.version} from {outcome}, expected "
+                f"v{pred['version']} from {pred['outcome']} "
+                f"(failed={sorted(failed)}, crash={crash_point})"
+            )
+        if replayed != pred["replayed"]:
+            result.violations.append(
+                f"replayed {replayed} log entries, oracle expected "
+                f"{pred['replayed']} (v{report.version}, "
+                f"failed={sorted(failed)}, crash={crash_point})"
+            )
+        if report.version in torn_versions:
+            result.violations.append(
+                f"restored torn version v{report.version} "
+                f"(crash={crash_point}, failed={sorted(failed)})"
+            )
+        for torn_base, torn_iteration in torn_entries:
+            if report.version == torn_base and job.iteration >= torn_iteration:
+                result.violations.append(
+                    f"resumed at iteration {job.iteration} on base "
+                    f"v{torn_base}: the log entry for iteration "
+                    f"{torn_iteration} was torn and must never be replayed"
+                )
+        expected_resume = pred["resume_iteration"]
+        if expected_resume is None:
+            expected_resume = version_iteration.get(report.version)
+        if expected_resume is None:
+            result.violations.append(
+                f"restored v{report.version}, a version no completed save "
+                f"ever committed"
+            )
+        else:
+            if job.iteration != expected_resume:
+                result.violations.append(
+                    f"job resumed at iteration {job.iteration}, expected "
+                    f"{expected_resume} (v{report.version}, "
+                    f"replayed={replayed})"
+                )
+            reference = iteration_states.get(expected_resume)
+            if reference is None:
+                result.violations.append(
+                    f"no recorded training state for resume iteration "
+                    f"{expected_resume}"
+                )
+            else:
+                result.violations.extend(
+                    check_restored_states(job, reference)
+                )
+            result.violations.extend(
+                check_redundancy(
+                    engine, report.version, from_backup=outcome == "backup"
+                )
+            )
+            expected_lost = max(0, at_iteration - expected_resume)
+            actual_lost = manager.stats.iterations_lost - lost_before
+            if actual_lost != expected_lost:
+                result.violations.append(
+                    f"iterations_lost accounted {actual_lost}, expected "
+                    f"{expected_lost} (at={at_iteration}, "
+                    f"resumed at {expected_resume})"
+                )
+
+    if sampler is not None:
+        sampler.finalize(t)
+    result.metrics = {
+        "iterations": iterations,
+        "checkpoints": manager.stats.checkpoints,
+        "replications": manager.stats.replications,
+        "overhead_s": round(
+            manager.stats.total_checkpoint_s
+            + manager.stats.total_replicate_s,
+            9,
+        ),
+        "recoveries": manager.stats.recoveries,
+        "refusals": refusals,
+        "iterations_lost": manager.stats.iterations_lost,
+        "replayed_iterations": manager.stats.replayed_iterations,
+        "bytes_replicated": manager.stats.bytes_replicated,
+    }
+    result.phases["_breakdowns"] = {
+        "save": [dict(r.breakdown) for r in manager.stats.save_reports],
+        "replicate": [
+            dict(r.breakdown) for r in manager.stats.replicate_reports
+        ],
+        "restore": [dict(r.breakdown) for r in recovery_reports],
+    }
+    return result
+
+
+def run_hybrid_campaign(
+    config: HybridChaosConfig | None = None,
+) -> HybridCampaignReport:
+    """Every engine through every episode's shared scenario."""
+    config = config or HybridChaosConfig()
+    episodes: list[HybridEpisodeResult] = []
+    for episode in range(config.episodes):
+        scenario = draw_scenario(config, episode)
+        for engine_name in config.engines:
+            episodes.append(
+                run_hybrid_episode(engine_name, episode, config, scenario)
+            )
+    return HybridCampaignReport(config=config, episodes=episodes)

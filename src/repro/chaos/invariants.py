@@ -188,6 +188,205 @@ def replication_memory_version(engine, failed_nodes: set[int]) -> int | None:
     return None
 
 
+# ----------------------------------------------------------------------
+# Gradient-stream oracles (gradrep / hybrid).  These re-derive the log's
+# replay commit rule from raw host keys — deliberately without calling
+# GradientLog's own query methods, so the hybrid campaign is a real
+# differential test of the engine against an independent reading of the
+# same bytes.
+# ----------------------------------------------------------------------
+def _grad_buddy(job, node: int) -> int:
+    from repro.gradrep.gradlog import buddy_of  # placement rule, not recovery
+
+    cluster = job.cluster
+    return buddy_of(
+        node, cluster.num_nodes, getattr(cluster, "nodes_per_rack", None)
+    )
+
+
+def grad_stream_seqs(engine, survivors: list[int]) -> list[int]:
+    """Every log seq with any trace in survivor storage, ascending."""
+    seqs = set()
+    for node in survivors:
+        for key in engine.host.keys(node):
+            if isinstance(key, tuple) and key[0] in (
+                "grad",
+                "graddig",
+                "gradmeta",
+                "gradcommit",
+            ):
+                seqs.add(key[1])
+    return sorted(seqs)
+
+
+def _grad_entry_committed(engine, seq: int, survivors: list[int]) -> dict | None:
+    """The entry's commit record iff identical on *every* survivor."""
+    record = None
+    for node in survivors:
+        if not engine.host.contains(node, ("gradcommit", seq)):
+            return None
+        found = engine.host.get(node, ("gradcommit", seq))
+        if record is None:
+            record = found
+        elif found != record:
+            return None
+    return record
+
+
+def _grad_entry_intact(engine, seq: int, survivors: list[int]) -> bool:
+    """Every writer's delta verified on a surviving home-or-buddy node."""
+    live = set(survivors)
+    for worker in engine.job.writers:
+        home = engine.job.node_of(worker)
+        ok = False
+        for node in (home, _grad_buddy(engine.job, home)):
+            if node not in live:
+                continue
+            if not (
+                engine.host.contains(node, ("grad", seq, worker))
+                and engine.host.contains(node, ("graddig", seq, worker))
+                and engine.host.contains(node, ("gradmeta", seq, worker))
+            ):
+                continue
+            if verify_chunk(
+                engine.host.get(node, ("grad", seq, worker)),
+                engine.host.get(node, ("graddig", seq, worker)),
+            ):
+                ok = True
+                break
+        if not ok:
+            return False
+    return True
+
+
+def expected_replay_tail(
+    engine, base_version: int, survivors: list[int]
+) -> list[dict]:
+    """Commit records a correct replay must apply, in order.
+
+    The walk ascends seqs found in raw storage and stops at the first
+    entry that is torn (commit record missing or unequal on some
+    survivor), bit-rotted (no verified surviving copy of some writer's
+    delta) or based on a different version — everything after a gap
+    XORs against the wrong predecessor state.
+    """
+    tail: list[dict] = []
+    for seq in grad_stream_seqs(engine, survivors):
+        record = _grad_entry_committed(engine, seq, survivors)
+        if record is None or record["base_version"] != base_version:
+            break
+        if not _grad_entry_intact(engine, seq, survivors):
+            break
+        tail.append(record)
+    return tail
+
+
+def _gradrep_anchor_qualifies(
+    engine, version: int, survivors: list[int]
+) -> bool:
+    live = set(survivors)
+    for node in survivors:
+        if not engine.host.contains(node, ("anchor", version)):
+            return False
+    for worker in engine.job.writers:
+        home = engine.job.node_of(worker)
+        ok = False
+        for node in (home, _grad_buddy(engine.job, home)):
+            if node not in live:
+                continue
+            if not all(
+                engine.host.contains(node, (kind, version, worker))
+                for kind in ("apkt", "adig", "ameta")
+            ):
+                continue
+            if verify_chunk(
+                engine.host.get(node, ("apkt", version, worker)),
+                engine.host.get(node, ("adig", version, worker)),
+            ):
+                ok = True
+                break
+        if not ok:
+            return False
+    return True
+
+
+def gradrep_anchor_version(engine, failed_nodes: set[int]) -> int | None:
+    """Newest anchor a correct gradrep restore must accept.
+
+    The anchor commit rule mirrors the log's: the ``("anchor", v)``
+    record on every survivor, and every writer's full packet verified on
+    a surviving home-or-buddy node.
+    """
+    survivors = [
+        n for n in range(engine.job.cluster.num_nodes) if n not in failed_nodes
+    ]
+    if not survivors:
+        return None
+    for version in range(engine.version, 0, -1):
+        if _gradrep_anchor_qualifies(engine, version, survivors):
+            return version
+    return None
+
+
+def expected_recovery(engine, failed_nodes: set[int]) -> dict:
+    """Full recovery prediction: outcome, version, replay depth, resume.
+
+    Extends :func:`expected_outcome` with the temporal leg: how many log
+    entries a correct engine must replay on top of the restored base and
+    which absolute iteration the recovered state must correspond to
+    (``resume_iteration=None`` when the engine has no replay notion or
+    no committed tail survives — the manager's checkpoint ledger then
+    rules).
+    """
+    survivors = [
+        n for n in range(engine.job.cluster.num_nodes) if n not in failed_nodes
+    ]
+    name = engine.name
+    if name == "gradrep":
+        version = gradrep_anchor_version(engine, failed_nodes)
+        if version is None:
+            return {
+                "outcome": "refused",
+                "version": None,
+                "replayed": 0,
+                "resume_iteration": None,
+            }
+        anchor_iteration = int(
+            engine.host.get(survivors[0], ("anchor", version))["iteration"]
+        )
+        tail = expected_replay_tail(engine, version, survivors)
+        resume = int(tail[-1]["iteration"]) if tail else anchor_iteration
+        return {
+            "outcome": "memory",
+            "version": version,
+            "replayed": len(tail),
+            "resume_iteration": resume,
+        }
+    if name == "hybrid":
+        outcome, version = expected_outcome(engine.inner, failed_nodes)
+        if outcome == "refused":
+            return {
+                "outcome": "refused",
+                "version": None,
+                "replayed": 0,
+                "resume_iteration": None,
+            }
+        tail = expected_replay_tail(engine, version, survivors)
+        return {
+            "outcome": outcome,
+            "version": version,
+            "replayed": len(tail),
+            "resume_iteration": int(tail[-1]["iteration"]) if tail else None,
+        }
+    outcome, version = expected_outcome(engine, failed_nodes)
+    return {
+        "outcome": outcome,
+        "version": version,
+        "replayed": 0,
+        "resume_iteration": None,
+    }
+
+
 def expected_outcome(engine, failed_nodes: set[int]) -> tuple[str, int | None]:
     """(outcome, version) a correct engine must produce for this failure.
 
@@ -217,6 +416,13 @@ def expected_outcome(engine, failed_nodes: set[int]) -> tuple[str, int | None]:
         if version is not None:
             return "backup", version
         return "refused", None
+    if name == "gradrep":
+        version = gradrep_anchor_version(engine, failed_nodes)
+        if version is not None:
+            return "memory", version
+        return "refused", None
+    if name == "hybrid":
+        return expected_outcome(engine.inner, failed_nodes)
     raise ValueError(f"no oracle for engine {name!r}")
 
 
@@ -412,6 +618,74 @@ def check_replication_redundancy(engine, version: int) -> list[str]:
     return violations
 
 
+def check_gradlog_redundancy(engine) -> list[str]:
+    """Every kept log entry back at full redundancy.
+
+    After recovery the tail must tolerate the next failure like any
+    fresh entry: commit record on every node, every writer's delta
+    verified on home *and* buddy.
+    """
+    num_nodes = engine.job.cluster.num_nodes
+    all_nodes = list(range(num_nodes))
+    violations = []
+    for seq in grad_stream_seqs(engine, all_nodes):
+        record = _grad_entry_committed(engine, seq, all_nodes)
+        if record is None:
+            violations.append(
+                f"log entry seq={seq} commit record not on every node"
+            )
+        for worker in engine.job.writers:
+            home = engine.job.node_of(worker)
+            for node in (home, _grad_buddy(engine.job, home)):
+                if not (
+                    engine.host.contains(node, ("grad", seq, worker))
+                    and engine.host.contains(node, ("graddig", seq, worker))
+                    and engine.host.contains(node, ("gradmeta", seq, worker))
+                ):
+                    violations.append(
+                        f"log entry seq={seq} worker {worker} delta missing "
+                        f"on node {node}"
+                    )
+                elif not verify_chunk(
+                    engine.host.get(node, ("grad", seq, worker)),
+                    engine.host.get(node, ("graddig", seq, worker)),
+                ):
+                    violations.append(
+                        f"log entry seq={seq} worker {worker} delta corrupt "
+                        f"on node {node}"
+                    )
+    return violations
+
+
+def check_gradrep_redundancy(engine, version: int) -> list[str]:
+    """Anchor fully replicated again plus the log tail redundant."""
+    num_nodes = engine.job.cluster.num_nodes
+    violations = []
+    for node in range(num_nodes):
+        if not engine.host.contains(node, ("anchor", version)):
+            violations.append(f"anchor v{version} record missing on node {node}")
+    for worker in engine.job.writers:
+        home = engine.job.node_of(worker)
+        for node in (home, _grad_buddy(engine.job, home)):
+            if not all(
+                engine.host.contains(node, (kind, version, worker))
+                for kind in ("apkt", "adig", "ameta")
+            ):
+                violations.append(
+                    f"anchor v{version} packet of worker {worker} missing "
+                    f"on node {node}"
+                )
+            elif not verify_chunk(
+                engine.host.get(node, ("apkt", version, worker)),
+                engine.host.get(node, ("adig", version, worker)),
+            ):
+                violations.append(
+                    f"anchor v{version} packet of worker {worker} corrupt "
+                    f"on node {node}"
+                )
+    return violations + check_gradlog_redundancy(engine)
+
+
 def check_redundancy(engine, version: int, from_backup: bool) -> list[str]:
     """Dispatch the engine-appropriate redundancy check.
 
@@ -426,4 +700,10 @@ def check_redundancy(engine, version: int, from_backup: bool) -> list[str]:
         return check_eccheck_redundancy(engine, version)
     if engine.name == "base3":
         return check_replication_redundancy(engine, version)
+    if engine.name == "gradrep":
+        return check_gradrep_redundancy(engine, version)
+    if engine.name == "hybrid":
+        return check_eccheck_redundancy(
+            engine.inner, version
+        ) + check_gradlog_redundancy(engine)
     return []

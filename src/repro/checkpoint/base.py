@@ -61,6 +61,14 @@ class RecoveryReport:
     which does not block training.  ``tier`` names the tier the restored
     version was served from (``"memory"``, ``"disk"`` or ``"remote"``),
     and ``bytes_from_disk`` counts local-disk reads on the promotion path.
+
+    Engines with a *temporal* recovery leg (gradient-log replay on top of
+    the restored base checkpoint) additionally report
+    ``replayed_iterations`` — log entries re-applied after the base
+    restore — and ``resume_iteration``, the absolute job iteration the
+    recovered state corresponds to.  ``resume_iteration=None`` means the
+    engine has no replay notion and the manager's checkpoint-iteration
+    ledger rules.
     """
 
     engine: str
@@ -72,6 +80,31 @@ class RecoveryReport:
     bytes_from_disk: int = 0
     tier: str = "memory"
     restore_redundancy_time: float = 0.0
+    replayed_iterations: int = 0
+    resume_iteration: int | None = None
+
+
+@dataclass
+class ReplicationReport:
+    """Accounting of one per-iteration gradient replication.
+
+    ``replicate_time`` is the piggybacked transfer plus commit broadcast
+    — overhead that recurs *every* iteration, which is exactly the
+    steady-state cost the hybrid crossover table weighs against
+    ``iterations_lost``.  ``bytes_replicated`` counts logical dirty bytes
+    shipped over the trunk (home copy + buddy copy); ``log_depth`` is the
+    gradient-log tail length after this entry committed.
+    """
+
+    engine: str
+    seq: int
+    iteration: int
+    base_version: int
+    replicate_time: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    bytes_replicated: int = 0
+    log_depth: int = 0
+    trunk_fraction: float = 0.0
 
 
 @dataclass

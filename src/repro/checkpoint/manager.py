@@ -72,6 +72,15 @@ class ManagerStats:
     #: Distinguishes "restored" (training resumed) from "fully
     #: re-protected" (redundancy back at target).
     redundancy_ledger: list = field(default_factory=list)
+    #: Gradient-replication accounting (engines with a
+    #: ``replicate_iteration`` path): entries logged on non-checkpoint
+    #: steps, their recurring cost, and log iterations re-applied during
+    #: recoveries.
+    replications: int = 0
+    total_replicate_s: float = 0.0
+    bytes_replicated: int = 0
+    replayed_iterations: int = 0
+    replicate_reports: list = field(default_factory=list)
 
 
 class CheckpointManager:
@@ -174,6 +183,7 @@ class CheckpointManager:
         """
         self.stats.steps += 1
         if not self.due():
+            self._replicate_if_supported()
             return False
         report = self.engine.save()
         self.stats.checkpoints += 1
@@ -226,6 +236,30 @@ class CheckpointManager:
             self._apply_tier_policy()
         return True
 
+    def _replicate_if_supported(self) -> None:
+        """Gradient-replicate this iteration on engines that stream.
+
+        Engines exposing ``replicate_iteration`` (gradrep/hybrid) protect
+        every iteration between checkpoints by logging the update to a
+        buddy node; the manager drives that on each non-checkpoint step
+        and accounts the recurring cost.
+        """
+        replicate = getattr(self.engine, "replicate_iteration", None)
+        if replicate is None:
+            return
+        can = getattr(self.engine, "can_replicate", None)
+        if can is not None and not can():
+            return
+        report = replicate()
+        self.stats.replications += 1
+        self.stats.total_replicate_s += report.replicate_time
+        self.stats.bytes_replicated += report.bytes_replicated
+        self.stats.replicate_reports.append(report)
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("manager.replications").inc()
+            tracer.metrics.gauge("manager.log_depth").set(report.log_depth)
+
     def _apply_tier_policy(self) -> None:
         """Demote cold versions to disk and GC the disk tier (async)."""
         engine = self.engine
@@ -272,9 +306,18 @@ class CheckpointManager:
         restored_iteration = self._checkpoint_iteration_of_version.get(
             report.version, 0
         )
-        iterations_lost = max(0, at_iteration - restored_iteration)
+        # Engines with a replay leg resume past the base checkpoint: the
+        # recovered state corresponds to ``resume_iteration`` (last
+        # replayed log entry), not to the checkpoint's own iteration.
+        resume_iteration = getattr(report, "resume_iteration", None)
+        if resume_iteration is None:
+            resume_iteration = restored_iteration
+        iterations_lost = max(0, at_iteration - resume_iteration)
         self.stats.iterations_lost += iterations_lost
-        self.job.iteration = restored_iteration
+        self.stats.replayed_iterations += getattr(
+            report, "replayed_iterations", 0
+        )
+        self.job.iteration = resume_iteration
         self._last_checkpoint_iteration = restored_iteration
         if tracer.enabled:
             tracer.event(
@@ -282,6 +325,7 @@ class CheckpointManager:
                 engine=self.engine.name,
                 version=report.version,
                 iterations_lost=iterations_lost,
+                replayed_iterations=getattr(report, "replayed_iterations", 0),
                 recovery_s=report.recovery_time,
             )
             tracer.metrics.counter("manager.recoveries").inc()

@@ -146,6 +146,64 @@ def build_parser() -> argparse.ArgumentParser:
         "output becomes TIER_report.json",
     )
 
+    hybrid = sub.add_parser(
+        "hybrid",
+        help="replay-aware differential campaign: eccheck vs gradrep vs "
+        "hybrid against shared scenarios, with the iterations-lost vs "
+        "steady-state-overhead crossover table",
+    )
+    hybrid.add_argument(
+        "--episodes", type=int, default=20, help="number of seeded episodes"
+    )
+    hybrid.add_argument("--seed", type=int, default=0, help="campaign seed")
+    hybrid.add_argument(
+        "--engines",
+        default="eccheck,gradrep,hybrid",
+        help="comma-separated engines to run against each shared scenario",
+    )
+    hybrid.add_argument(
+        "--max-rounds",
+        type=int,
+        default=3,
+        help="max train/crash/fail rounds per episode",
+    )
+    hybrid.add_argument(
+        "--interval",
+        type=int,
+        default=3,
+        help="checkpoint interval (iterations); also scales the "
+        "log-depth alert thresholds",
+    )
+    hybrid.add_argument(
+        "--iteration-s",
+        type=float,
+        default=1.0,
+        help="baseline iteration seconds for the crossover computation",
+    )
+    hybrid.add_argument(
+        "--output",
+        default="HYBRID_report.json",
+        help="JSON campaign report path ('' to skip writing)",
+    )
+    hybrid.add_argument(
+        "--timeline",
+        action="store_true",
+        help="attach per-run telemetry timelines (log-depth signal, "
+        "online alert rules) to the report",
+    )
+    hybrid.add_argument(
+        "--timeline-period",
+        type=float,
+        default=60.0,
+        help="sim-seconds between telemetry samples (default 60)",
+    )
+    hybrid.add_argument(
+        "--fail-on-alerts",
+        action="store_true",
+        help="exit non-zero when any violation-severity alert fired "
+        "(requires --timeline)",
+    )
+
     elastic = sub.add_parser(
         "elastic",
         help="elastic-membership chaos campaign: degraded checkpointing, "
@@ -283,7 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--engine",
         default="eccheck",
-        choices=("eccheck", "base1", "base2", "base3"),
+        choices=("eccheck", "base1", "base2", "base3", "gradrep", "hybrid"),
         help="checkpoint engine to trace",
     )
     trace.add_argument(
@@ -458,6 +516,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _quickstart(out)
     if args.command == "chaos":
         return _chaos(args, out)
+    if args.command == "hybrid":
+        return _hybrid(args, out)
     if args.command == "elastic":
         return _elastic(args, out)
     if args.command == "fleet":
@@ -517,6 +577,50 @@ def _chaos(args, out) -> int:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.output}", file=out)
     return 1 if report.violations else 0
+
+
+def _hybrid(args, out) -> int:
+    """Run the replay-aware differential campaign.
+
+    Exit 0 iff no invariant was violated — and, with
+    ``--fail-on-alerts``, no violation-severity alert fired.
+    """
+    from repro.chaos.hybrid_campaign import (
+        HybridChaosConfig,
+        run_hybrid_campaign,
+    )
+
+    if args.fail_on_alerts and not args.timeline:
+        print("--fail-on-alerts requires --timeline", file=sys.stderr)
+        return 2
+    engines = tuple(
+        name.strip() for name in args.engines.split(",") if name.strip()
+    )
+    config = HybridChaosConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        engines=engines,
+        max_rounds=args.max_rounds,
+        interval=args.interval,
+        iteration_s=args.iteration_s,
+        timeline=args.timeline,
+        timeline_period_s=args.timeline_period,
+    )
+    report = run_hybrid_campaign(config)
+    print(report.render(), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.output}", file=out)
+    failed = bool(report.violations)
+    if args.fail_on_alerts and report.alert_counts()["violation"]:
+        print(
+            f"FAILING: {report.alert_counts()['violation']} "
+            f"violation-severity alert(s) fired",
+            file=out,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _tier_chaos(args, out) -> int:
@@ -724,6 +828,8 @@ def _analyze(args, out) -> int:
                     report = json.load(fh)
             except json.JSONDecodeError:
                 report = None
+            if isinstance(report, dict) and "crossover" in report:
+                return _analyze_hybrid_report(args.trace, report, out)
             if isinstance(report, dict) and "episodes" in report:
                 return _analyze_report_timelines(args.trace, report, out)
     trace = _load_trace_or_fail(args.trace)
@@ -735,6 +841,54 @@ def _analyze(args, out) -> int:
     for problem in problems:
         print(f"TRACE PROBLEM: {problem}", file=out)
     return 1 if problems or analysis.crosscheck_problems else 0
+
+
+def _analyze_hybrid_report(path: str, report: dict, out) -> int:
+    """Re-verify a hybrid campaign's stored phase reconciliations.
+
+    Each run embeds the traced phase sums and the summed report
+    breakdowns per report kind (save / replicate / restore); re-running
+    the 1e-9 crosscheck offline proves the stored report is internally
+    consistent without re-running the campaign.
+    """
+    from repro.obs.trace_io import crosscheck_totals
+
+    problems: list[str] = []
+    checked = 0
+    for episode in report.get("episodes", []):
+        phases = episode.get("phases") or {}
+        index = episode.get("episode", "?")
+        engine = episode.get("engine", "?")
+        kinds = []
+        for kind, section in sorted(phases.items()):
+            checked += 1
+            kinds.append(kind)
+            problems.extend(
+                f"episode {index} ({engine}) {kind}: {p}"
+                for p in crosscheck_totals(
+                    section.get("traced", {}), [section.get("reported", {})]
+                )
+            )
+        print(
+            f"episode {index} ({engine}): "
+            f"{'/'.join(kinds) or 'no'} phases reconciled at 1e-9",
+            file=out,
+        )
+    if not checked:
+        print(
+            f"{path}: no phase sections to analyze (run `repro hybrid`)",
+            file=out,
+        )
+        return 2
+    for problem in problems:
+        print(f"PHASE PROBLEM: {problem}", file=out)
+    if not problems:
+        print(
+            f"phase crosscheck OK ({checked} reconciliations, "
+            f"{len(report.get('violations', []))} campaign violations)",
+            file=out,
+        )
+    return 1 if problems else 0
 
 
 def _analyze_report_timelines(path: str, report: dict, out) -> int:

@@ -99,6 +99,10 @@ class ECCheckConfig:
         use_pipelining: overlap encode / XOR / P2P per buffer (False =
             strictly sequential steps, the ablation baseline).
         packet_alignment: packets are padded to a multiple of this.
+        engine: which checkpoint engine this config drives (resolved by
+            :func:`repro.core.registry.build_engine`); non-EC engines
+            ignore the coding parameters, and the hybrid engine feeds
+            them to its inner EC core.
     """
 
     k: int = 2
@@ -110,6 +114,7 @@ class ECCheckConfig:
     use_sweepline_placement: bool = True
     use_pipelining: bool = True
     packet_alignment: int = 64
+    engine: str = "eccheck"
 
 
 class ECCheckEngine(CheckpointEngine):
@@ -687,7 +692,11 @@ class ECCheckEngine(CheckpointEngine):
         shipped: parity packets are updated in place via
         ``parity_new = parity_old ^ encode(delta)`` and data chunks have
         the delta applied.  Falls back to a full :meth:`save` when no
-        prior packets exist or the packet size changed.
+        prior packets exist, the packet size changed, or the base
+        version's chunks are no longer whole in host memory — a refused
+        recovery, an eviction, or a tier demotion can wipe the base out
+        from under the bookkeeping, and XOR-updating chunks that are not
+        there would corrupt the stream.
         """
         assert self.placement and self.reduction_plan and self.code
         plan = self.placement
@@ -707,6 +716,7 @@ class ECCheckEngine(CheckpointEngine):
             not self._last_packets
             or self._last_full_version is None
             or self._last_packets[0].nbytes != packet_size
+            or not self._memory_version_intact(self._last_full_version)
         ):
             return self.save()
         # The delta base is the last version whose *chunks* live in host
@@ -1165,8 +1175,11 @@ class ECCheckEngine(CheckpointEngine):
         assert self.placement and self.code
         self.on_failure(failed_nodes)
         # After any failure the delta base is unreliable; the next
-        # incremental save falls back to a full one.
+        # incremental save falls back to a full one.  The version pointer
+        # goes too: leaving it aimed at a wiped version would misreport
+        # delta_base_version() and un-pin the demotion guard.
         self._last_packets = {}
+        self._last_full_version = None
         latest = self.latest_version()
         surviving = [
             node for node in range(self.job.cluster.num_nodes)

@@ -19,6 +19,15 @@ property tests sweep all of them), so picking differently can only ever
 change wall time — which is what makes it safe to pick *per shape from
 measurement* rather than globally from guesswork.
 
+The **decode path** has its own tuning axis: the decoding schedule is
+fixed (``dumb`` over the inverted survivor matrix, cached per survivor
+set), but its cache-blocking chunk size is independent of the encode
+winner's — the decode bitmatrix is denser, so the working set per chunk
+differs.  Decode winners are stored under the same key schema with an
+``op=decode`` suffix and consulted by
+:meth:`repro.ec.cauchy.CauchyRSCode.decode_bitmatrix` when the caller
+does not pin an explicit ``chunk_bytes``.
+
 Winners are keyed by ``(k, m, w, good_matrix, block-size bucket)`` and
 cached in memory plus a small JSON file next to the repo (the disk
 counterpart of the in-process schedule/decode LRUs).  ``repro
@@ -229,6 +238,37 @@ def store_variant(code: "CauchyRSCode", size: int, variant: Variant) -> None:
     _STATS["stores"] += 1
 
 
+def _decode_key(code: "CauchyRSCode", size: int) -> str:
+    return f"{_key(code, size)},op=decode"
+
+
+def best_decode_chunk(code: "CauchyRSCode", size: int) -> int:
+    """The measured decode chunk size for this shape, or the default.
+
+    Decode is tuned separately from encode: the survivor-matrix
+    bitmatrix is denser than the parity bitmatrix, so the chunk size
+    that keeps the encode working set L2-resident is not automatically
+    right for reconstruction.
+    """
+    if not _LOADED:
+        load_cache()
+    variant = _MEMORY.get(_decode_key(code, size))
+    if variant is None:
+        _STATS["misses"] += 1
+        return DEFAULT_CHUNK_BYTES
+    _STATS["hits"] += 1
+    return variant.chunk_bytes
+
+
+def store_decode_chunk(code: "CauchyRSCode", size: int, chunk_bytes: int) -> None:
+    """Record a decode-path chunk winner (schedule/decompose are fixed
+    on the decode path, so only the blocking axis is stored)."""
+    _MEMORY[_decode_key(code, size)] = Variant(
+        schedule_kind="dumb", decompose_kind="pack", chunk_bytes=int(chunk_bytes)
+    )
+    _STATS["stores"] += 1
+
+
 def measure_variant(
     code: "CauchyRSCode",
     blocks: list[np.ndarray],
@@ -288,3 +328,39 @@ def autotune(
             best_v, best_t = variant, elapsed
     store_variant(code, size, best_v)
     return best_v, timings
+
+
+def autotune_decode(
+    code: "CauchyRSCode",
+    size: int,
+    repeats: int = 3,
+    seed: int = 0,
+) -> tuple[int, dict[str, float]]:
+    """Measure decode chunk candidates and record the winner.
+
+    Uses the worst-case survivor set — the first ``min(m, k)`` data
+    chunks lost, every missing block reconstructed from parity — so the
+    measurement exercises the densest decoding bitmatrix this shape can
+    produce.  Returns the winning chunk size and a timing table.
+    """
+    k, m, w = code.params.k, code.params.m, code.params.w
+    size = max(w, (size // w) * w)
+    lost = min(m, k)
+    ids = tuple(list(range(lost, k)) + list(range(k, k + lost)))
+    rng = np.random.default_rng(seed)
+    blocks = [rng.integers(0, 256, size, dtype=np.uint8) for _ in ids]
+    outs = [np.empty(size, dtype=np.uint8) for _ in range(k)]
+    ops = code._decode_schedule(ids).compiled_ops()
+    timings: dict[str, float] = {}
+    best_c, best_t = DEFAULT_CHUNK_BYTES, float("inf")
+    for chunk_bytes in CHUNK_CANDIDATES:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            apply_schedule_blocks(ops, blocks, outs, w, chunk_bytes)
+            best = min(best, time.perf_counter() - t0)
+        timings[f"decode/{chunk_bytes // 1024}K"] = best
+        if best < best_t:
+            best_c, best_t = chunk_bytes, best
+    store_decode_chunk(code, size, best_c)
+    return best_c, timings

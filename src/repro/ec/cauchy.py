@@ -341,7 +341,7 @@ class CauchyRSCode(ErasureCode):
     def decode_bitmatrix(
         self,
         available: dict[int, np.ndarray],
-        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        chunk_bytes: int | None = None,
     ) -> list[np.ndarray]:
         """Decode with XOR operations only.
 
@@ -349,6 +349,11 @@ class CauchyRSCode(ErasureCode):
         rows) is expanded to its GF(2) bitmatrix and compiled to a cached
         XOR schedule, so reconstruction — like encoding — runs through the
         word-packed kernels.  Byte-identical to :meth:`decode`.
+
+        Cache blocking comes from the autotuner's *decode* winner table
+        for this shape (the decoding bitmatrix is denser than the parity
+        bitmatrix, so the encode winner's chunk size is not reused); an
+        explicit ``chunk_bytes`` pins it for benchmarks.
 
         Raises:
             DecodeError: with fewer than ``k`` chunks.
@@ -368,6 +373,10 @@ class CauchyRSCode(ErasureCode):
             raise CodeConfigError(
                 f"bitmatrix decoding needs block size divisible by w={w}, got {size}"
             )
+        if chunk_bytes is None:
+            from repro.ec.autotune import best_decode_chunk
+
+            chunk_bytes = best_decode_chunk(self, size)
         schedule = self._decode_schedule(tuple(ids))
         out = [np.empty(size, dtype=np.uint8) for _ in range(k)]
         apply_schedule_blocks(schedule.compiled_ops(), blocks, out, w, chunk_bytes)

@@ -22,14 +22,13 @@ from repro.analysis.breakdown import normalise_breakdown, sum_breakdowns
 from repro.checkpoint.job import TrainingJob
 from repro.checkpoint.manager import CheckpointManager
 from repro.checkpoint.tiering import TierPolicy
-from repro.checkpoint.replication import GeminiReplicationEngine
-from repro.checkpoint.sync_remote import SyncRemoteEngine
-from repro.checkpoint.two_phase import TwoPhaseEngine
-from repro.core.eccheck import ECCheckConfig, ECCheckEngine
+from repro.core.eccheck import ECCheckConfig
+from repro.core.registry import build_engine, engine_names
+from repro.errors import CheckpointError
 from repro.parallel.strategy import ParallelismSpec
 from repro.parallel.topology import ClusterSpec
 
-ENGINES = ("eccheck", "base1", "base2", "base3")
+ENGINES = ("eccheck", "base1", "base2", "base3", "gradrep", "hybrid")
 
 
 def build_traced_job(
@@ -43,15 +42,19 @@ def build_traced_job(
         scale=scale,
         seed=seed,
     )
-    if engine_name == "eccheck":
-        return job, ECCheckEngine(job, ECCheckConfig(k=2, m=2, encode_threads=2))
-    if engine_name == "base1":
-        return job, SyncRemoteEngine(job)
-    if engine_name == "base2":
-        return job, TwoPhaseEngine(job)
-    if engine_name == "base3":
-        return job, GeminiReplicationEngine(job, group_size=2)
-    raise ReproError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+    try:
+        engine = build_engine(
+            engine_name,
+            job,
+            ECCheckConfig(k=2, m=2, encode_threads=2, engine=engine_name),
+            group_size=2,
+        )
+    except CheckpointError as exc:
+        raise ReproError(
+            f"unknown engine {engine_name!r}; choose from "
+            f"{', '.join(engine_names())}"
+        ) from exc
+    return job, engine
 
 
 def _snapshot_cache_gauges(tracer, engine) -> None:
@@ -159,6 +162,13 @@ def run_traced_job(
     tier_breakdowns = [r.breakdown for r in manager.stats.demote_reports]
     tier_totals = trace_io.phase_totals(spans, kind="tier")
     problems += trace_io.crosscheck_totals(tier_totals, tier_breakdowns, rel_tol)
+    replicate_breakdowns = [
+        r.breakdown for r in manager.stats.replicate_reports
+    ]
+    replicate_totals = trace_io.phase_totals(spans, kind="replicate")
+    problems += trace_io.crosscheck_totals(
+        replicate_totals, replicate_breakdowns, rel_tol
+    )
 
     events = len(tracer.records()) - len(spans)
     print(
@@ -178,6 +188,19 @@ def run_traced_job(
             "restore phases:", restore_totals, sum_breakdowns(restore_breakdowns)
         )
         print("\n".join(table), file=out)
+    if replicate_totals:
+        table = _phase_table(
+            "replicate phases:",
+            replicate_totals,
+            sum_breakdowns(replicate_breakdowns),
+        )
+        print("\n".join(table), file=out)
+        print(
+            f"  gradient stream: {manager.stats.replications} replications "
+            f"({manager.stats.bytes_replicated} B over the trunk), "
+            f"{manager.stats.replayed_iterations} iterations replayed",
+            file=out,
+        )
     if tier_totals:
         table = _phase_table(
             "tier phases:", tier_totals, sum_breakdowns(tier_breakdowns)

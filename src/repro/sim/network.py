@@ -530,3 +530,93 @@ class TransferResult:
     flow_finish_times: list[float]
     total_bytes: float
     request_finish_times: list[float] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Piggyback accounting: a replication flow riding the cross-rack trunk
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PiggybackSlice:
+    """One piggybacked transfer's share of the trunk while it was live."""
+
+    seconds: float
+    nbytes: int
+    fraction: float  # trunk fraction granted to the replication flow
+    rate: float  # bytes/second actually granted
+
+
+class PiggybackChannel:
+    """Gradient replication sharing the cross-rack trunk with collectives.
+
+    Checkmate-style engines do not open a dedicated checkpoint network:
+    the per-iteration gradient copy rides the same inter-node trunk the
+    training collectives (all-reduce / pipeline sends) already saturate.
+    This channel models that contention with a :class:`BandwidthArbiter`
+    over the trunk capacity: a standing ``collective`` claim holds the
+    training job's share, and each replicated payload acquires a
+    transient ``replication`` claim, transfers at the granted rate, and
+    releases.  Fully deterministic — no rng, no wall clock.
+
+    Args:
+        time_model: supplies the trunk capacity (``inter_node_gbps``).
+        collective_weight: standing weight of the training collectives.
+            With ``replication_weight=1.0`` the replication flow is
+            granted ``1 / (1 + collective_weight)`` of the trunk — the
+            default 3.0 leaves collectives 75% of the capacity.
+        replication_weight: weight of each transient replication claim.
+    """
+
+    def __init__(
+        self,
+        time_model: "TimeModel",
+        collective_weight: float = 3.0,
+        replication_weight: float = 1.0,
+    ):
+        if collective_weight <= 0 or replication_weight <= 0:
+            raise SimulationError(
+                "piggyback weights must be positive, got "
+                f"collective={collective_weight}, replication={replication_weight}"
+            )
+        self.time_model = time_model
+        self.collective_weight = float(collective_weight)
+        self.replication_weight = float(replication_weight)
+        self.arbiter = BandwidthArbiter(gbps(time_model.inter_node_gbps))
+        self.arbiter.acquire("collective", weight=self.collective_weight)
+        self.total_seconds = 0.0
+        self.total_bytes = 0
+        self.transfers = 0
+
+    @property
+    def replication_fraction(self) -> float:
+        """Trunk fraction a lone replication flow is granted."""
+        return self.replication_weight / (
+            self.replication_weight + self.collective_weight
+        )
+
+    def transfer(self, nbytes: int) -> PiggybackSlice:
+        """Ship ``nbytes`` over the shared trunk; returns the time slice.
+
+        Zero-byte transfers (a fully clean delta) cost nothing and do
+        not touch the arbiter.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return PiggybackSlice(seconds=0.0, nbytes=0, fraction=0.0, rate=0.0)
+        claim = self.arbiter.acquire(
+            "replication", weight=self.replication_weight
+        )
+        try:
+            seconds = nbytes / claim.rate
+            slice_ = PiggybackSlice(
+                seconds=seconds,
+                nbytes=int(nbytes),
+                fraction=claim.fraction,
+                rate=claim.rate,
+            )
+        finally:
+            self.arbiter.release("replication")
+        self.total_seconds += slice_.seconds
+        self.total_bytes += slice_.nbytes
+        self.transfers += 1
+        return slice_

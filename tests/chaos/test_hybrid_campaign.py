@@ -1,0 +1,134 @@
+"""Differential hybrid campaign: shared scenarios, oracle verdicts,
+crossover analysis, and timeline alerting."""
+
+import json
+
+import pytest
+
+from repro.chaos.hybrid_campaign import (
+    HYBRID_ENGINES,
+    HybridChaosConfig,
+    draw_scenario,
+    hybrid_alert_rules,
+    run_hybrid_campaign,
+    run_hybrid_episode,
+)
+
+
+def small_config(**overrides):
+    kwargs = dict(episodes=4, seed=0, max_rounds=2, interval=3)
+    kwargs.update(overrides)
+    return HybridChaosConfig(**kwargs)
+
+
+def test_draw_scenario_is_deterministic_and_engine_free():
+    config = small_config()
+    a = draw_scenario(config, 2)
+    b = draw_scenario(config, 2)
+    assert a == b
+    # Scenarios carry only engine-independent draws: uniform floats and
+    # structural choices, never engine-specific crash points or keys.
+    text = json.dumps(a, default=str)
+    for engine in HYBRID_ENGINES:
+        assert engine not in text
+
+
+def test_different_episodes_draw_different_scenarios():
+    config = small_config()
+    assert draw_scenario(config, 0) != draw_scenario(config, 1)
+
+
+def test_episode_runs_identical_scenario_across_engines():
+    """The differential contract: every engine of an episode faces the
+    same scenario dict object-equal to the drawn one."""
+    config = small_config(episodes=1)
+    scenario = draw_scenario(config, 0)
+    for engine in config.engines:
+        result = run_hybrid_episode(engine, 0, config, scenario=scenario)
+        assert result.engine == engine
+        assert result.episode == 0
+
+
+def test_small_campaign_has_zero_oracle_violations():
+    report = run_hybrid_campaign(small_config())
+    assert report.violations == []
+    assert len(report.episodes) == 4 * len(HYBRID_ENGINES)
+    # Something actually happened: at least one recovery cycle judged.
+    assert len(report.cycles) > 0
+
+
+def test_campaign_report_is_deterministic():
+    config = small_config(episodes=2)
+    a = run_hybrid_campaign(config).to_dict()
+    b = run_hybrid_campaign(config).to_dict()
+    assert a == b
+
+
+def test_engine_summary_and_crossover_shapes():
+    report = run_hybrid_campaign(small_config())
+    summary = report.engine_summary()
+    assert set(summary) == set(HYBRID_ENGINES)
+    for stats in summary.values():
+        assert stats["iterations"] > 0
+        assert stats["overhead_s"] >= 0.0
+    crossover = report.crossover_table()
+    # One verdict per unordered engine pair.
+    assert len(crossover) == 3
+    for entry in crossover:
+        assert "verdict" in entry
+
+
+def test_streaming_engines_replay_where_eccheck_loses():
+    """Across the shared scenarios, gradrep/hybrid replay logged
+    iterations and so lose no more than eccheck ever does."""
+    report = run_hybrid_campaign(small_config(episodes=6))
+    summary = report.engine_summary()
+    assert summary["gradrep"]["replayed_iterations"] > 0
+    assert summary["hybrid"]["replayed_iterations"] > 0
+    assert summary["eccheck"]["replayed_iterations"] == 0
+    assert (
+        summary["hybrid"]["avg_iterations_lost"]
+        <= summary["eccheck"]["avg_iterations_lost"]
+    )
+
+
+def test_phase_sections_reconcile_in_every_episode():
+    report = run_hybrid_campaign(small_config(episodes=2))
+    for episode in report.episodes:
+        assert episode.phases, episode.engine
+        for kind, section in episode.phases.items():
+            assert set(section) == {"traced", "reported"}, kind
+
+
+def test_timeline_carries_log_depth_and_alert_counts():
+    report = run_hybrid_campaign(small_config(episodes=2, timeline=True))
+    streaming = [
+        e for e in report.episodes if e.engine in ("gradrep", "hybrid")
+    ]
+    assert streaming
+    for episode in streaming:
+        assert episode.timeline is not None
+        assert "alerts" in episode.timeline
+    counts = report.alert_counts()
+    assert set(counts) == {"warning", "violation"}
+
+
+def test_alert_rules_scale_with_the_interval():
+    rules = {r.name: r for r in hybrid_alert_rules(4)}
+    assert rules["log-depth-high"].threshold == 12
+    assert rules["log-depth-runaway"].threshold == 32
+    assert rules["log-depth-runaway"].severity == "violation"
+
+
+def test_to_json_roundtrips_without_provenance():
+    report = run_hybrid_campaign(small_config(episodes=1))
+    payload = json.loads(report.to_json(provenance=False))
+    assert payload == report.to_dict()
+    assert "crossover" in payload
+
+
+def test_render_mentions_every_engine():
+    report = run_hybrid_campaign(small_config(episodes=1))
+    text = report.render()
+    for engine in HYBRID_ENGINES:
+        assert engine in text

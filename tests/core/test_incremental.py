@@ -234,3 +234,89 @@ def test_incremental_after_restore_falls_back_to_full():
     job.fail_nodes({2, 3})
     engine.restore({2, 3})
     verify(job, reference)
+
+
+# ---------------------------------------------------------------------------
+# Replay determinism properties (the gradient-log replay contract:
+# base XOR d1 XOR ... XOR dn is batching-invariant and rerun-stable).
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _delta_chain(seed: int, size: int, steps: int, block_size: int):
+    """A seeded packet trajectory and its per-step XOR deltas."""
+    rng = np.random.default_rng(seed)
+    packets = [
+        rng.integers(0, 256, size, dtype=np.uint8) for _ in range(steps + 1)
+    ]
+    deltas = [
+        packet_delta(a, b, block_size)[0]
+        for a, b in zip(packets, packets[1:])
+    ]
+    return packets, deltas
+
+
+@settings(deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    size=st.integers(1, 512),
+    steps=st.integers(1, 6),
+    block_size=st.integers(1, 128),
+    data=st.data(),
+)
+def test_replay_is_associative_with_batching(seed, size, steps, block_size, data):
+    """Replaying deltas one at a time, or XOR-folded into arbitrary
+    contiguous batches, lands on the same bytes — the property that lets
+    a recovery engine coalesce gradient-log entries before applying."""
+    packets, deltas = _delta_chain(seed, size, steps, block_size)
+    one_by_one = packets[0]
+    for delta in deltas:
+        one_by_one = apply_delta(one_by_one, delta)
+    assert np.array_equal(one_by_one, packets[-1])
+
+    cuts = sorted(
+        data.draw(
+            st.sets(st.integers(1, max(1, len(deltas) - 1)), max_size=steps)
+        )
+    )
+    bounds = [0, *[c for c in cuts if c < len(deltas)], len(deltas)]
+    batched = packets[0]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if lo == hi:
+            continue
+        combined = deltas[lo].copy()
+        for delta in deltas[lo + 1 : hi]:
+            combined = combined ^ delta
+        batched = apply_delta(batched, combined)
+    assert np.array_equal(batched, one_by_one)
+
+
+@settings(deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    size=st.integers(1, 1024),
+    steps=st.integers(1, 8),
+    block_size=st.sampled_from([1, 7, 64, 4096]),
+)
+def test_same_seed_replay_is_byte_identical(seed, size, steps, block_size):
+    """Two replays of the same seeded trajectory produce byte-identical
+    deltas, summaries, and final payloads — nothing in the delta
+    machinery depends on ambient state."""
+
+    def run():
+        packets, deltas = _delta_chain(seed, size, steps, block_size)
+        summaries = [
+            packet_delta(a, b, block_size)[1]
+            for a, b in zip(packets, packets[1:])
+        ]
+        payload = packets[0]
+        for delta in deltas:
+            payload = apply_delta(payload, delta)
+        return (
+            payload.tobytes(),
+            [d.tobytes() for d in deltas],
+            summaries,
+        )
+
+    assert run() == run()

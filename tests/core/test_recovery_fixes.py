@@ -180,3 +180,42 @@ def test_incremental_with_no_prior_chunks_falls_back_to_full():
     report = engine.save_incremental()
     assert report.version == 2
     assert "dirty_fraction" not in report.breakdown  # it was a full save
+
+
+# ---------------------------------------------------------------------------
+# Delta base survives only as long as its chunks do
+# ---------------------------------------------------------------------------
+def test_restore_clears_the_delta_base_pointer():
+    """A recovery invalidates the delta base entirely: both the cached
+    packets and the version pointer.  A stale pointer at a wiped version
+    would misreport delta_base_version() and un-pin the demotion guard."""
+    job, engine = make_engine()
+    engine.save()
+    assert engine.delta_base_version() == 1
+    job.fail_nodes({1})
+    engine.restore({1})
+    assert engine.delta_base_version() is None
+    assert not engine._last_packets
+
+
+def test_incremental_with_wiped_base_chunks_falls_back_to_full():
+    """If the base version's chunks are gone from host memory (here: a
+    memory wipe that a refused recovery would leave behind), the next
+    save_incremental must NOT XOR-update missing chunks — it must walk
+    back to a full save, and later recovery must restore those bytes."""
+    job, engine = make_engine()
+    engine.save()
+    # Wipe version 1's chunks everywhere while leaving the engine's
+    # delta-base bookkeeping untouched.
+    for node in range(job.cluster.num_nodes):
+        for key in list(engine.host.keys(node)):
+            if isinstance(key, tuple) and key[0] == "chunk" and key[1] == 1:
+                engine.host.delete(node, key)
+    assert engine.delta_base_version() == 1  # pointer still aimed at v1
+    job.advance()
+    report = engine.save_incremental()
+    assert "dirty_fraction" not in report.breakdown  # full-save fallback
+    reference = job.snapshot_states()
+    job.fail_nodes({2, 3})
+    engine.restore({2, 3})
+    verify(job, reference)

@@ -180,3 +180,57 @@ class TestAutotune:
             got = code.encode_bitmatrix(blocks)
             for a, b in zip(got, want):
                 assert np.array_equal(a, b), f"variant {variant} diverged"
+
+
+class TestDecodePath:
+    def test_miss_returns_the_default_chunk(self):
+        assert (
+            autotune.best_decode_chunk(_code(), 4096) == DEFAULT_CHUNK_BYTES
+        )
+        assert autotune_cache_info()["misses"] == 1
+
+    def test_decode_winner_is_keyed_apart_from_encode(self):
+        code = _code()
+        autotune.store_decode_chunk(code, 4096, DEFAULT_CHUNK_BYTES * 4)
+        assert (
+            autotune.best_decode_chunk(code, 4096) == DEFAULT_CHUNK_BYTES * 4
+        )
+        # The encode-path lookup must not see the decode winner.
+        assert best_variant(code, 4096) == DEFAULT_VARIANT
+
+    def test_decode_winner_survives_the_disk_cache(self):
+        code = _code()
+        autotune.store_decode_chunk(code, 8192, DEFAULT_CHUNK_BYTES * 4)
+        path = save_cache()
+        autotune.clear_cache()
+        assert load_cache(path) == 1
+        assert (
+            autotune.best_decode_chunk(code, 8192) == DEFAULT_CHUNK_BYTES * 4
+        )
+
+    def test_autotune_decode_measures_and_stores(self):
+        code = _code(k=3, m=2)
+        size = 24 * 1024
+        winner, timings = autotune.autotune_decode(code, size, repeats=1)
+        assert winner in autotune.CHUNK_CANDIDATES
+        assert set(timings) == {
+            f"decode/{c // 1024}K" for c in autotune.CHUNK_CANDIDATES
+        }
+        assert all(t > 0 for t in timings.values())
+        assert autotune.best_decode_chunk(code, size) == winner
+
+    def test_decode_is_byte_identical_across_chunkings(self):
+        """Same safety property as encode: only wall time may change."""
+        code = _code(k=3, m=2)
+        size = 24 * 1024
+        blocks = _blocks(code, size, seed=9)
+        coded = code.encode(blocks)
+        # Worst case: the first min(m, k) data blocks are lost.
+        available = {i: blocks[i] for i in range(2, 3)}
+        available.update({3 + j: coded[j] for j in range(2)})
+        want = code.decode_bitmatrix(dict(available), chunk_bytes=DEFAULT_CHUNK_BYTES)
+        for chunk in autotune.CHUNK_CANDIDATES:
+            autotune.store_decode_chunk(code, size, chunk)
+            got = code.decode_bitmatrix(dict(available))  # tuned pick
+            for i in range(code.params.k):
+                assert np.array_equal(got[i], want[i]), f"chunk {chunk} diverged"

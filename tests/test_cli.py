@@ -248,3 +248,85 @@ def test_fleet_violations_exit_nonzero(monkeypatch):
     )
     assert code == 1
     assert "synthetic violation" in output
+
+
+# ---------------------------------------------------------------------------
+# Hybrid differential campaign
+# ---------------------------------------------------------------------------
+def test_hybrid_campaign_command(tmp_path):
+    import json
+
+    report_path = tmp_path / "hybrid.json"
+    code, output = run_cli(
+        "hybrid", "--episodes", "2", "--seed", "0",
+        "--output", str(report_path),
+    )
+    assert code == 0
+    assert "crossover" in output
+    assert report_path.exists()
+    payload = json.loads(report_path.read_text())
+    assert payload["violations"] == []
+    assert "crossover" in payload
+    # 2 episodes x 3 engines under the shared scenarios.
+    assert len(payload["episodes"]) == 6
+
+
+def test_hybrid_engine_filter(tmp_path):
+    code, output = run_cli(
+        "hybrid", "--episodes", "1", "--engines", "eccheck,hybrid",
+        "--output", "",
+    )
+    assert code == 0
+    assert "gradrep" not in output.split("crossover")[0]
+
+
+def test_hybrid_fail_on_alerts_requires_timeline(capsys):
+    code, _ = run_cli("hybrid", "--episodes", "1", "--fail-on-alerts")
+    assert code == 2
+    assert "--fail-on-alerts requires --timeline" in capsys.readouterr().err
+
+
+def test_hybrid_timeline_with_alert_gate(tmp_path):
+    report_path = tmp_path / "hybrid.json"
+    code, output = run_cli(
+        "hybrid", "--episodes", "2", "--timeline", "--fail-on-alerts",
+        "--output", str(report_path),
+    )
+    assert code == 0
+    assert report_path.exists()
+
+
+def test_analyze_hybrid_report(tmp_path):
+    report_path = tmp_path / "hybrid.json"
+    code, _ = run_cli(
+        "hybrid", "--episodes", "2", "--output", str(report_path)
+    )
+    assert code == 0
+    code, output = run_cli("analyze", str(report_path))
+    assert code == 0
+    assert "phase crosscheck OK" in output
+    assert "reconciled at 1e-9" in output
+
+
+def test_analyze_hybrid_report_detects_tampering(tmp_path):
+    import json
+
+    report_path = tmp_path / "hybrid.json"
+    run_cli("hybrid", "--episodes", "1", "--output", str(report_path))
+    payload = json.loads(report_path.read_text())
+    for episode in payload["episodes"]:
+        for section in episode["phases"].values():
+            for key in section["reported"]:
+                section["reported"][key] += 1.0
+    report_path.write_text(json.dumps(payload))
+    code, output = run_cli("analyze", str(report_path))
+    assert code == 1
+
+
+def test_trace_accepts_streaming_engines(tmp_path):
+    for engine in ("gradrep", "hybrid"):
+        code, output = run_cli(
+            "trace", "--engine", engine, "--iterations", "6",
+            "--interval", "3", "--out-dir", str(tmp_path),
+        )
+        assert code == 0, engine
